@@ -1,0 +1,173 @@
+// Command dasc-bench regenerates the paper's tables and figures. Each
+// experiment sweeps one parameter over the six approaches and prints the
+// score and running-time grids that correspond to the paper's (a)/(b)
+// subfigure pairs.
+//
+// Usage:
+//
+//	dasc-bench -list
+//	dasc-bench -exp fig3 -scale 0.1 -seed 1
+//	dasc-bench -exp all -scale 0.05 -format csv -out results.csv
+//
+// Scale 1.0 reproduces the paper's population sizes (5K×5K synthetic,
+// 3,525×1,282 real-substitute); smaller scales shrink proportionally for
+// quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dasc/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dasc-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expID   = fs.String("exp", "", "experiment ID (see -list), or \"all\"")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		verify  = fs.Bool("verify", false, "run every paper trend check (Figures 3-15) and report ✓/✗")
+		slack   = fs.Float64("slack", 0.15, "relative tolerance for -verify direction checks")
+		scale   = fs.Float64("scale", 0.1, "population scale factor in (0, 1]; 1.0 = paper size")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		repeats = fs.Int("repeats", 1, "seeds to average over")
+		par     = fs.Int("parallel", 1, "concurrent cells (skews time measurements; use for score surveys)")
+		format  = fs.String("format", "markdown", "output format: markdown, csv, chart, json or html")
+		outPath = fs.String("out", "", "write output to this file instead of stdout")
+		quiet   = fs.Bool("q", false, "suppress per-cell progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		reg := bench.Registry()
+		for _, id := range bench.IDs() {
+			e := reg[id]
+			fmt.Fprintf(stdout, "%-16s %-28s %s\n", id, e.Paper, e.Title)
+		}
+		return nil
+	}
+	if *verify {
+		opt := bench.RunOptions{Scale: *scale, Seed: *seed, Repeats: *repeats, Parallel: *par}
+		failed, err := bench.VerifyAll(stdout, opt, *slack)
+		if err != nil {
+			return err
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d trend check(s) failed", failed)
+		}
+		return nil
+	}
+	if *expID == "" {
+		return fmt.Errorf("missing -exp (try -list)")
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var ids []string
+	if *expID == "all" {
+		ids = bench.IDs()
+	} else {
+		ids = []string{*expID}
+	}
+
+	opt := bench.RunOptions{Scale: *scale, Seed: *seed, Repeats: *repeats, Parallel: *par}
+	if !*quiet {
+		opt.Progress = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+	csvHeaderDone := false
+	if *format == "html" {
+		if err := bench.WriteHTMLHeader(out, "DA-SC experiment report"); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		e, err := bench.Lookup(id)
+		if err != nil {
+			return err
+		}
+		tbl, err := e.Run(opt)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "markdown":
+			if err := tbl.RenderMarkdown(out); err != nil {
+				return err
+			}
+		case "html":
+			if err := tbl.RenderHTML(out); err != nil {
+				return err
+			}
+		case "json":
+			if err := tbl.RenderJSON(out); err != nil {
+				return err
+			}
+		case "chart":
+			if err := tbl.RenderChart(out, 48); err != nil {
+				return err
+			}
+		case "csv":
+			// One shared header across experiments.
+			if csvHeaderDone {
+				var tmp noHeaderWriter
+				tmp.w = out
+				if err := tbl.RenderCSV(&tmp); err != nil {
+					return err
+				}
+			} else {
+				if err := tbl.RenderCSV(out); err != nil {
+					return err
+				}
+				csvHeaderDone = true
+			}
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	if *format == "html" {
+		return bench.WriteHTMLFooter(out)
+	}
+	return nil
+}
+
+// noHeaderWriter drops the first line written through it (the CSV header).
+type noHeaderWriter struct {
+	w    io.Writer
+	done bool
+}
+
+func (n *noHeaderWriter) Write(p []byte) (int, error) {
+	if n.done {
+		return n.w.Write(p)
+	}
+	for i, b := range p {
+		if b == '\n' {
+			n.done = true
+			if _, err := n.w.Write(p[i+1:]); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+	}
+	return len(p), nil // header spans multiple writes; keep dropping
+}

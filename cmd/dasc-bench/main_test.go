@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var osReadFile = os.ReadFile
+
+func TestBenchList(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, id := range []string{"fig2", "fig15", "table6", "ablation-alpha"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %q", id)
+		}
+	}
+}
+
+func TestBenchRunMarkdown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-exp", "fig6", "-scale", "0.05", "-seed", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "Running time") {
+		t.Errorf("markdown output wrong:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "score=") {
+		t.Error("progress lines missing on stderr")
+	}
+}
+
+func TestBenchRunCSVToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	err := run([]string{"-exp", "fig6", "-scale", "0.05", "-format", "csv", "-out", path, "-q"},
+		&bytes.Buffer{}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(data, "experiment,point,algorithm,score,time_ms") {
+		t.Errorf("csv header missing:\n%s", data[:80])
+	}
+	// 5 points × 6 algorithms + header.
+	if lines := strings.Count(data, "\n"); lines != 31 {
+		t.Errorf("csv lines = %d, want 31", lines)
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	if err := run([]string{}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -exp accepted")
+	}
+	if err := run([]string{"-exp", "fig99"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-exp", "fig6", "-scale", "0.05", "-format", "xml", "-q"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestNoHeaderWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &noHeaderWriter{w: &buf}
+	// Header split across two writes, then body.
+	if _, err := w.Write([]byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("er\nbody1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("body2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "body1\nbody2\n" {
+		t.Errorf("noHeaderWriter output = %q", got)
+	}
+}
+
+// readFile is a tiny helper avoiding an os import at every call site.
+func readFile(path string) (string, error) {
+	data, err := osReadFile(path)
+	return string(data), err
+}
+
+func TestBenchRunJSON(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-exp", "fig6", "-scale", "0.05", "-format", "json", "-q"}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{`"experiment": "fig6"`, `"cells"`, `"algorithm": "Greedy"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json missing %q", want)
+		}
+	}
+}
+
+func TestBenchRunChart(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-exp", "fig6", "-scale", "0.05", "-format", "chart", "-q"}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Figure 6") {
+		t.Error("chart output wrong")
+	}
+}
+
+func TestBenchRunHTMLToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.html")
+	err := run([]string{"-exp", "fig6", "-scale", "0.05", "-format", "html", "-out", path, "-q"},
+		&bytes.Buffer{}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "<svg") || !strings.Contains(data, "</html>") {
+		t.Error("html report malformed")
+	}
+}

@@ -1,0 +1,96 @@
+// Command dasc-gen generates DA-SC workload instances as JSON files.
+//
+// Usage:
+//
+//	dasc-gen -kind synthetic -scale 0.1 -seed 7 -out workload.json
+//	dasc-gen -kind meetup -workers 500 -tasks 200 -out hk.json
+//	dasc-gen -kind smallscale -out table6.json
+//	dasc-gen -kind example1 -out fig1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dasc/internal/dataset"
+	"dasc/internal/gen"
+	"dasc/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dasc-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind    = fs.String("kind", "synthetic", "workload kind: synthetic, meetup, smallscale, example1")
+		seed    = fs.Int64("seed", 1, "random seed")
+		scale   = fs.Float64("scale", 1.0, "population scale factor in (0, 1]")
+		workers = fs.Int("workers", 0, "override worker count (0 = config default)")
+		tasks   = fs.Int("tasks", 0, "override task count (0 = config default)")
+		outPath = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		in  *model.Instance
+		err error
+	)
+	switch *kind {
+	case "synthetic":
+		c := gen.DefaultSynthetic().Scale(*scale)
+		c.Seed = *seed
+		if *workers > 0 {
+			c.Workers = *workers
+		}
+		if *tasks > 0 {
+			c.Tasks = *tasks
+		}
+		in, err = gen.Synthetic(c)
+	case "smallscale":
+		c := gen.SmallScale()
+		c.Seed = *seed
+		if *workers > 0 {
+			c.Workers = *workers
+		}
+		if *tasks > 0 {
+			c.Tasks = *tasks
+		}
+		in, err = gen.Synthetic(c)
+	case "meetup":
+		c := gen.DefaultMeetup().Scale(*scale)
+		c.Seed = *seed
+		if *workers > 0 {
+			c.Workers = *workers
+		}
+		if *tasks > 0 {
+			c.Tasks = *tasks
+		}
+		in, err = gen.Meetup(c)
+	case "example1":
+		in = model.Example1()
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	st := in.ComputeStats()
+	fmt.Fprintf(stderr, "generated %d workers, %d tasks, %d dependency edges (max dep set %d, critical path %d)\n",
+		st.Workers, st.Tasks, st.Edges, st.MaxDepSetSize, st.CriticalPathLength)
+
+	if *outPath == "" {
+		return dataset.Write(stdout, in)
+	}
+	return dataset.Save(*outPath, in)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dasc/internal/dataset"
+)
+
+func TestGenKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"synthetic", "meetup", "smallscale", "example1"} {
+		out := filepath.Join(dir, kind+".json")
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-kind", kind, "-scale", "0.02", "-out", out}, &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		in, err := dataset.Load(out)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", kind, err)
+		}
+		if len(in.Workers) == 0 || len(in.Tasks) == 0 {
+			t.Errorf("%s: empty instance", kind)
+		}
+		if !strings.Contains(stderr.String(), "generated") {
+			t.Errorf("%s: missing summary on stderr: %q", kind, stderr.String())
+		}
+	}
+}
+
+func TestGenStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-kind", "example1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), `"version"`) {
+		t.Error("no JSON on stdout")
+	}
+}
+
+func TestGenOverrides(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "o.json")
+	if err := run([]string{"-kind", "synthetic", "-workers", "7", "-tasks", "9", "-out", out}, &bytes.Buffer{}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Workers) != 7 || len(in.Tasks) != 9 {
+		t.Errorf("overrides ignored: %d/%d", len(in.Workers), len(in.Tasks))
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if err := run([]string{"-kind", "bogus"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-badflag"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

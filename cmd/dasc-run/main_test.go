@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dasc/internal/dataset"
+	"dasc/internal/model"
+)
+
+func writeExample1(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ex1.json")
+	if err := dataset.Save(path, model.Example1()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunStatic(t *testing.T) {
+	path := writeExample1(t)
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", path, "-alg", "Greedy", "-static", "-pairs"}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "score: 3") {
+		t.Errorf("output missing score 3:\n%s", out)
+	}
+	if !strings.Contains(out, `"pairs"`) {
+		t.Errorf("output missing pairs JSON:\n%s", out)
+	}
+}
+
+func TestRunSimulated(t *testing.T) {
+	path := writeExample1(t)
+	for _, alg := range []string{"Greedy", "Game-5%", "G-G", "Closest", "Random"} {
+		var stdout bytes.Buffer
+		if err := run([]string{"-in", path, "-alg", alg, "-interval", "2"}, &stdout, &bytes.Buffer{}); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !strings.Contains(stdout.String(), "assigned_pairs:") {
+			t.Errorf("%s: missing metrics:\n%s", alg, stdout.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.json"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeExample1(t)
+	if err := run([]string{"-in", path, "-alg", "Bogus"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunStaticVizOutputs(t *testing.T) {
+	path := writeExample1(t)
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "g.dot")
+	svg := filepath.Join(dir, "g.svg")
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", path, "-alg", "Greedy", "-static", "-dot", dot, "-svg", svg}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	dotData, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dotData), "digraph dasc") {
+		t.Error("dot output wrong")
+	}
+	svgData, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svgData), "<svg") {
+		t.Error("svg output wrong")
+	}
+}
+
+func TestRunSimTrace(t *testing.T) {
+	path := writeExample1(t)
+	trace := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-in", path, "-alg", "Greedy", "-trace", trace}, &bytes.Buffer{}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "batch,time,") {
+		t.Errorf("trace header wrong: %q", string(data[:20]))
+	}
+}
+
+func TestRunStaticPoA(t *testing.T) {
+	path := writeExample1(t)
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", path, "-alg", "Greedy", "-static", "-poa", "4"}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "optimum: 3 (exact: true)") {
+		t.Errorf("poa output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "poa_estimate:") {
+		t.Errorf("missing poa estimate:\n%s", out)
+	}
+}

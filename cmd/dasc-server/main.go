@@ -1,0 +1,115 @@
+// Command dasc-server runs the dependency-aware spatial-crowdsourcing
+// platform as an HTTP service. Requesters POST tasks, workers POST
+// themselves, and every -interval of logical time a batch process assigns
+// the active workers to the pending tasks with the chosen allocator.
+//
+//	dasc-server -addr :8080 -alg G-G -interval 5 -timescale 1
+//
+// Logical time advances at -timescale units per wall-clock second; with
+// -manual the clock only advances through explicit POST /v1/tick?t=<time>
+// calls (useful for tests and demos).
+//
+// API (see internal/server.Handler):
+//
+//	POST /v1/workers      {"x":..,"y":..,"start":..,"wait":..,"velocity":..,"max_dist":..,"skills":[..]}
+//	POST /v1/tasks        {"x":..,"y":..,"start":..,"wait":..,"requires":..,"deps":[..]}
+//	POST /v1/tick?t=12.5  run one batch at logical time 12.5
+//	GET  /v1/stats | /v1/assignments | /v1/instance | /v1/svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"dasc/internal/core"
+	"dasc/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		alg       = flag.String("alg", core.NameGreedy, "allocator name")
+		seed      = flag.Int64("seed", 1, "allocator seed")
+		interval  = flag.Float64("interval", 5, "batch interval in logical time units")
+		timescale = flag.Float64("timescale", 1, "logical time units per wall-clock second")
+		service   = flag.Float64("service", 0, "service duration per task")
+		manual    = flag.Bool("manual", false, "no automatic ticker; advance time via POST /v1/tick")
+		journal   = flag.String("journal", "", "append-only JSONL event log; replayed on startup to restore state")
+	)
+	flag.Parse()
+
+	alloc, err := core.NewByName(*alg, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-server:", err)
+		os.Exit(1)
+	}
+	cfg := server.Config{Allocator: alloc, ServiceTime: *service}
+	if *journal != "" {
+		j, err := server.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dasc-server:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
+	p, err := server.NewPlatform(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-server:", err)
+		os.Exit(1)
+	}
+	if *journal != "" {
+		if f, err := os.Open(*journal); err == nil {
+			if err := server.Replay(f, p); err != nil {
+				fmt.Fprintln(os.Stderr, "dasc-server: replay:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			st := p.Snapshot()
+			log.Printf("replayed journal %s: %d workers, %d tasks, %d assigned",
+				*journal, st.Workers, st.Tasks, st.AssignedTasks)
+		}
+	}
+
+	if !*manual {
+		go runTicker(p, *interval, *timescale)
+	}
+	log.Printf("dasc-server: %s allocator, batch interval %g, listening on %s", alloc.Name(), *interval, *addr)
+	if err := http.ListenAndServe(*addr, server.Handler(p)); err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-server:", err)
+		os.Exit(1)
+	}
+}
+
+// runTicker advances logical time at the configured rate, running one batch
+// per interval, until the process exits.
+func runTicker(p *server.Platform, interval, timescale float64) {
+	if timescale <= 0 {
+		timescale = 1
+	}
+	wall := time.Duration(float64(time.Second) * interval / timescale)
+	if wall <= 0 {
+		wall = time.Second
+	}
+	start := time.Now()
+	for range time.Tick(wall) {
+		tickOnce(p, time.Since(start).Seconds()*timescale)
+	}
+}
+
+// tickOnce runs one batch at logical time now and logs non-empty outcomes.
+func tickOnce(p *server.Platform, now float64) {
+	out, err := p.Tick(now)
+	if err != nil {
+		log.Printf("tick at %.1f failed: %v", now, err)
+		return
+	}
+	if len(out.Assigned) > 0 || out.Wasted > 0 {
+		log.Printf("batch %d at t=%.1f: %d workers, %d tasks, %d assigned, %d wasted",
+			out.Batch, out.Time, out.Workers, out.Tasks, len(out.Assigned), out.Wasted)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/model"
+	"dasc/internal/server"
+)
+
+func TestTickOnceAssignsAndLogsWithoutPanicking(t *testing.T) {
+	p, err := server.NewPlatform(server.Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := model.Example1()
+	for _, w := range ex.Workers {
+		if _, err := p.AddWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tk := range ex.Tasks {
+		if _, err := p.AddTask(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tickOnce(p, 0)
+	if st := p.Snapshot(); st.AssignedTasks != 3 {
+		t.Errorf("assigned = %d, want 3", st.AssignedTasks)
+	}
+	// A tick that goes backwards logs the error instead of panicking.
+	tickOnce(p, -1)
+	if st := p.Snapshot(); st.Batches != 1 {
+		t.Errorf("backward tick counted: %+v", st)
+	}
+}

@@ -1,0 +1,208 @@
+package dasc_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"dasc"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	in := dasc.Example1()
+	m := dasc.Assign(in, dasc.NewGreedy())
+	if m.Size() != 3 {
+		t.Fatalf("greedy on Example1 = %d, want 3", m.Size())
+	}
+}
+
+func TestPublicAllAllocators(t *testing.T) {
+	in := dasc.Example1()
+	for _, name := range dasc.AllocatorNames() {
+		alloc, err := dasc.NewAllocator(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := dasc.Assign(in, alloc)
+		if m.Size() < 1 {
+			t.Errorf("%s scored %d on Example1", name, m.Size())
+		}
+	}
+	if _, err := dasc.NewAllocator("nope", 1); err == nil {
+		t.Error("unknown allocator name accepted")
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	in, err := dasc.GenerateSynthetic(dasc.DefaultSynthetic().Scale(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dasc.Simulate(in, dasc.SimConfig{Allocator: dasc.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AssignedPairs+res.ExpiredTasks != len(in.Tasks) {
+		t.Errorf("assigned+expired = %d, want %d", res.AssignedPairs+res.ExpiredTasks, len(in.Tasks))
+	}
+}
+
+func TestPublicIORoundTrip(t *testing.T) {
+	in := dasc.Example1()
+	var buf bytes.Buffer
+	if err := dasc.WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dasc.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Workers) != 3 || len(out.Tasks) != 5 {
+		t.Errorf("round trip lost entities: %d/%d", len(out.Workers), len(out.Tasks))
+	}
+}
+
+func TestPublicCustomInstance(t *testing.T) {
+	in := &dasc.Instance{
+		SkillUniverse: 2,
+		Workers: []dasc.Worker{{
+			ID: 0, Loc: dasc.Pt(0, 0), Start: 0, Wait: 10, Velocity: 1,
+			MaxDist: 10, Skills: dasc.NewSkillSet(0),
+		}},
+		Tasks: []dasc.Task{{
+			ID: 0, Loc: dasc.Pt(1, 1), Start: 0, Wait: 10, Requires: 0,
+		}},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := dasc.Assign(in, dasc.NewGame(dasc.GameOptions{Seed: 1}))
+	if m.Size() != 1 {
+		t.Errorf("game on trivial instance = %d", m.Size())
+	}
+}
+
+func TestPublicMeetupGenerator(t *testing.T) {
+	in, err := dasc.GenerateMeetup(dasc.DefaultMeetup().Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Workers) == 0 || len(in.Tasks) == 0 {
+		t.Error("empty meetup instance")
+	}
+}
+
+func TestPublicEquilibriumQuality(t *testing.T) {
+	q := dasc.MeasureEquilibriumQuality(dasc.Example1(),
+		dasc.GameOptions{}, dasc.DFSOptions{}, 5, 1)
+	if q.Optimum != 3 || !q.Exact {
+		t.Fatalf("quality = %+v", q)
+	}
+	if q.WorstRatio <= 0 || q.BestRatio > 1 {
+		t.Errorf("ratios out of range: %+v", q)
+	}
+}
+
+func TestPublicRoadNetworkMetric(t *testing.T) {
+	net, err := dasc.GenerateRoadGrid(dasc.DefaultRoadGrid(
+		dasc.BBox{Min: dasc.Pt(0, 0), Max: dasc.Pt(0.5, 0.5)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dasc.DefaultSynthetic().Scale(0.02)
+	in, err := dasc.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Dist = net.DistanceFunc()
+	road, err := dasc.Simulate(in, dasc.SimConfig{Allocator: dasc.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Dist = nil
+	euclid, err := dasc.Simulate(in, dasc.SimConfig{Allocator: dasc.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Road distances dominate Euclidean, so the score can only drop.
+	if road.AssignedPairs > euclid.AssignedPairs {
+		t.Errorf("road-network score %d exceeds Euclidean %d",
+			road.AssignedPairs, euclid.AssignedPairs)
+	}
+}
+
+func TestPublicSimulateOnline(t *testing.T) {
+	in := dasc.Example1()
+	res, err := dasc.SimulateOnline(in, dasc.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AssignedPairs < 3 {
+		t.Errorf("online assigned %d, want ≥ 3", res.AssignedPairs)
+	}
+}
+
+func TestPublicWrappersSmoke(t *testing.T) {
+	// Distance functions.
+	if dasc.Euclidean(dasc.Pt(0, 0), dasc.Pt(3, 4)) != 5 {
+		t.Error("Euclidean wrapper wrong")
+	}
+	if dasc.Manhattan(dasc.Pt(0, 0), dasc.Pt(3, 4)) != 7 {
+		t.Error("Manhattan wrapper wrong")
+	}
+	if d := dasc.Haversine(dasc.Pt(114, 22), dasc.Pt(114, 23)); d < 100 || d > 120 {
+		t.Errorf("Haversine wrapper = %v", d)
+	}
+	// Allocator constructors.
+	for _, alloc := range []dasc.Allocator{
+		dasc.NewGreedyOpt(dasc.GreedyOptions{}),
+		dasc.NewClosest(),
+		dasc.NewRandom(1),
+		dasc.NewImproved(dasc.NewGreedy()),
+	} {
+		if alloc.Name() == "" {
+			t.Error("unnamed allocator")
+		}
+		m := dasc.Assign(dasc.Example1(), alloc)
+		if m.Size() < 1 {
+			t.Errorf("%s scored %d", alloc.Name(), m.Size())
+		}
+	}
+	// Skill names.
+	names := dasc.NewSkillNames()
+	if names.MustIntern("x") != 0 {
+		t.Error("SkillNames wrapper wrong")
+	}
+	// Allocator name list.
+	if len(dasc.AllocatorNames()) != 6 {
+		t.Errorf("AllocatorNames = %v", dasc.AllocatorNames())
+	}
+}
+
+func TestPublicSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := dasc.SaveInstance(path, dasc.Example1()); err != nil {
+		t.Fatal(err)
+	}
+	in, err := dasc.LoadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Tasks) != 5 {
+		t.Errorf("loaded %d tasks", len(in.Tasks))
+	}
+}
+
+func TestPublicSimulateErrors(t *testing.T) {
+	if _, err := dasc.Simulate(dasc.Example1(), dasc.SimConfig{}); err == nil {
+		t.Error("missing allocator accepted")
+	}
+	bad := dasc.Example1()
+	bad.Tasks[0].Deps = []dasc.TaskID{2}
+	if _, err := dasc.Simulate(bad, dasc.SimConfig{Allocator: dasc.NewGreedy()}); err == nil {
+		t.Error("cyclic instance accepted")
+	}
+	if _, err := dasc.SimulateOnline(bad, dasc.SimConfig{}); err == nil {
+		t.Error("online accepted cyclic instance")
+	}
+}

@@ -1,0 +1,60 @@
+package dasc_test
+
+import (
+	"fmt"
+
+	"dasc"
+)
+
+// The paper's motivating example: three workers, five tasks, dependencies
+// t2→t1, t3→{t1,t2}, t5→t4. The dependency-aware greedy finishes three
+// tasks where nearest-first finishes one.
+func ExampleAssign() {
+	in := dasc.Example1()
+	m := dasc.Assign(in, dasc.NewGreedy())
+	fmt.Println(m.Size())
+	// Output: 3
+}
+
+// Build a custom instance by hand and allocate it.
+func ExampleAssign_custom() {
+	in := &dasc.Instance{
+		SkillUniverse: 2,
+		Workers: []dasc.Worker{{
+			ID: 0, Loc: dasc.Pt(0, 0), Start: 0, Wait: 10,
+			Velocity: 1, MaxDist: 10, Skills: dasc.NewSkillSet(0),
+		}},
+		Tasks: []dasc.Task{{
+			ID: 0, Loc: dasc.Pt(1, 1), Start: 0, Wait: 10, Requires: 0,
+		}},
+	}
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	m := dasc.Assign(in, dasc.NewGame(dasc.GameOptions{Seed: 1}))
+	fmt.Println(m)
+	// Output: M{(w0,t0)}
+}
+
+// Simulate the full batch loop over a generated workload.
+func ExampleSimulate() {
+	in, err := dasc.GenerateSynthetic(dasc.DefaultSynthetic().Scale(0.01))
+	if err != nil {
+		panic(err)
+	}
+	res, err := dasc.Simulate(in, dasc.SimConfig{Allocator: dasc.NewGreedy()})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.AssignedPairs+res.ExpiredTasks == len(in.Tasks))
+	// Output: true
+}
+
+// Measure equilibrium quality against the exact optimum (Theorem IV.2's
+// PoS/PoA, empirically).
+func ExampleMeasureEquilibriumQuality() {
+	q := dasc.MeasureEquilibriumQuality(dasc.Example1(),
+		dasc.GameOptions{}, dasc.DFSOptions{}, 5, 1)
+	fmt.Println(q.Optimum, q.Exact)
+	// Output: 3 true
+}

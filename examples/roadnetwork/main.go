@@ -1,0 +1,71 @@
+// Roadnetwork: the paper notes its approaches work with any travel metric,
+// "e.g., road-network distance". This example builds a synthetic city road
+// network over the task region, plugs its shortest-path metric into the
+// instance, and compares allocation under Euclidean vs road-network travel:
+// detours shrink each worker's reachable set, so scores drop and travel
+// grows — but the approach ordering is unchanged.
+//
+//	go run ./examples/roadnetwork [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dasc"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "population scale factor")
+	flag.Parse()
+
+	cfg := dasc.DefaultSynthetic().Scale(*scale)
+	cfg.Seed = 7
+	in, err := dasc.GenerateSynthetic(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	net, err := dasc.GenerateRoadGrid(dasc.DefaultRoadGrid(dasc.BBox{
+		Min: dasc.Pt(0, 0), Max: dasc.Pt(0.5, 0.5),
+	}))
+	if err != nil {
+		fail(err)
+	}
+	g := net.Graph()
+	fmt.Printf("road network: %d junctions, %d road segments\n\n", g.NumNodes(), g.NumEdges())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tallocator\tscore\texpired\ttravel")
+	for _, metric := range []struct {
+		name string
+		fn   dasc.DistanceFunc
+	}{
+		{"euclidean", nil}, // nil = the instance default
+		{"road", net.DistanceFunc()},
+	} {
+		in.Dist = metric.fn
+		for _, name := range []string{"Greedy", "G-G", "Closest"} {
+			alloc, err := dasc.NewAllocator(name, 7)
+			if err != nil {
+				fail(err)
+			}
+			res, err := dasc.Simulate(in, dasc.SimConfig{Allocator: alloc})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\n",
+				metric.name, name, res.AssignedPairs, res.ExpiredTasks, res.TotalTravel)
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nroad-network distances dominate straight lines, so scores can only")
+	fmt.Println("drop relative to the euclidean rows; the allocator ordering persists.")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "roadnetwork example:", err)
+	os.Exit(1)
+}

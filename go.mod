@@ -1,0 +1,3 @@
+module dasc
+
+go 1.22

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderChart writes the score grid as horizontal ASCII bar charts — the
+// terminal rendition of the paper's "(a)" subfigures. One block per point
+// per algorithm, bars scaled to the experiment-wide maximum.
+func (t *Table) RenderChart(w io.Writer, barWidth int) error {
+	if barWidth < 8 {
+		barWidth = 48
+	}
+	e := t.Experiment
+	maxScore := 0.0
+	for _, row := range t.Rows {
+		for _, a := range e.Algorithms {
+			if c := row[a.Label]; c.Score > maxScore {
+				maxScore = c.Score
+			}
+		}
+	}
+	labelWidth := 0
+	for _, a := range e.Algorithms {
+		if len(a.Label) > labelWidth {
+			labelWidth = len(a.Label)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\nscore by %s (bar = %g at full width)\n\n",
+		e.Paper, e.Title, e.Axis, maxScore); err != nil {
+		return err
+	}
+	for i, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%s = %s\n", e.Axis, e.Points[i].Label); err != nil {
+			return err
+		}
+		for _, a := range e.Algorithms {
+			c := row[a.Label]
+			bar := 0
+			if maxScore > 0 {
+				bar = int(c.Score / maxScore * float64(barWidth))
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s %7.1f %s\n",
+				labelWidth, a.Label, c.Score, strings.Repeat("▇", bar)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"html"
+	"io"
+)
+
+// htmlPalette colours the algorithm series; cycled when an experiment has
+// more columns.
+var htmlPalette = []string{
+	"#2563eb", "#9333ea", "#c026d3", "#16a34a", "#ea580c", "#dc2626",
+	"#0891b2", "#4d7c0f",
+}
+
+// WriteHTMLHeader starts a self-contained report document.
+func WriteHTMLHeader(w io.Writer, title string) error {
+	_, err := fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+ body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #111; }
+ h2 { border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+ table { border-collapse: collapse; margin: 1rem 0; }
+ th, td { border: 1px solid #ddd; padding: .3rem .6rem; text-align: right; }
+ th:first-child, td:first-child { text-align: left; }
+ .legend span { display: inline-block; margin-right: 1rem; }
+ .swatch { display: inline-block; width: .8em; height: .8em; margin-right: .3em; }
+</style></head><body>
+<h1>%s</h1>
+`, html.EscapeString(title), html.EscapeString(title))
+	return err
+}
+
+// WriteHTMLFooter closes the document.
+func WriteHTMLFooter(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "</body></html>")
+	return err
+}
+
+// RenderHTML writes one experiment as a section: an inline-SVG grouped bar
+// chart of the scores (the paper's "(a)" subfigure) followed by the score
+// and running-time tables. The output is self-contained — no scripts, no
+// external assets.
+func (t *Table) RenderHTML(w io.Writer) error {
+	e := t.Experiment
+	if _, err := fmt.Fprintf(w, "<h2>%s — %s</h2>\n<p>Axis: %s. Scale %.2f, seed %d, repeats %d.</p>\n",
+		html.EscapeString(e.Paper), html.EscapeString(e.Title),
+		html.EscapeString(e.Axis), t.Options.Scale, t.Options.Seed, max(1, t.Options.Repeats)); err != nil {
+		return err
+	}
+	if err := t.renderSVGChart(w); err != nil {
+		return err
+	}
+	writeTable := func(caption string, cell func(Cell) string) error {
+		if _, err := fmt.Fprintf(w, "<table><caption>%s</caption><tr><th>%s</th>",
+			html.EscapeString(caption), html.EscapeString(e.Axis)); err != nil {
+			return err
+		}
+		for _, a := range e.Algorithms {
+			fmt.Fprintf(w, "<th>%s</th>", html.EscapeString(a.Label))
+		}
+		fmt.Fprintln(w, "</tr>")
+		for i, row := range t.Rows {
+			fmt.Fprintf(w, "<tr><td>%s</td>", html.EscapeString(e.Points[i].Label))
+			for _, a := range e.Algorithms {
+				fmt.Fprintf(w, "<td>%s</td>", cell(row[a.Label]))
+			}
+			fmt.Fprintln(w, "</tr>")
+		}
+		_, err := fmt.Fprintln(w, "</table>")
+		return err
+	}
+	if err := writeTable("Assignment score", func(c Cell) string { return fmt.Sprintf("%.1f", c.Score) }); err != nil {
+		return err
+	}
+	return writeTable("Running time (ms)", func(c Cell) string { return fmt.Sprintf("%.2f", c.TimeMS) })
+}
+
+// renderSVGChart draws grouped vertical bars: one group per sweep point, one
+// bar per algorithm.
+func (t *Table) renderSVGChart(w io.Writer) error {
+	e := t.Experiment
+	const (
+		chartH  = 220
+		barW    = 14
+		gapBar  = 3
+		gapGrp  = 26
+		marginL = 40
+		marginB = 40
+	)
+	nAlg := len(e.Algorithms)
+	grpW := nAlg*(barW+gapBar) + gapGrp
+	width := marginL + len(t.Rows)*grpW + 20
+	maxScore := 1.0
+	for _, row := range t.Rows {
+		for _, a := range e.Algorithms {
+			if s := row[a.Label].Score; s > maxScore {
+				maxScore = s
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, `<svg width="%d" height="%d" role="img">`+"\n", width, chartH+marginB+20); err != nil {
+		return err
+	}
+	// Y axis line and max label.
+	fmt.Fprintf(w, `<line x1="%d" y1="10" x2="%d" y2="%d" stroke="#999"/>`+"\n", marginL, marginL, chartH+10)
+	fmt.Fprintf(w, `<text x="%d" y="16" font-size="10" text-anchor="end">%.0f</text>`+"\n", marginL-4, maxScore)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="10" text-anchor="end">0</text>`+"\n", marginL-4, chartH+10)
+	for gi, row := range t.Rows {
+		gx := marginL + gi*grpW + gapGrp/2
+		for ai, a := range e.Algorithms {
+			s := row[a.Label].Score
+			h := int(s / maxScore * float64(chartH))
+			x := gx + ai*(barW+gapBar)
+			fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s @ %s: %.1f</title></rect>`+"\n",
+				x, chartH+10-h, barW, h, htmlPalette[ai%len(htmlPalette)],
+				html.EscapeString(a.Label), html.EscapeString(e.Points[gi].Label), s)
+		}
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			gx+(nAlg*(barW+gapBar))/2, chartH+24, html.EscapeString(e.Points[gi].Label))
+	}
+	if _, err := fmt.Fprintln(w, "</svg>"); err != nil {
+		return err
+	}
+	// Legend.
+	if _, err := fmt.Fprint(w, `<p class="legend">`); err != nil {
+		return err
+	}
+	for ai, a := range e.Algorithms {
+		fmt.Fprintf(w, `<span><span class="swatch" style="background:%s"></span>%s</span>`,
+			htmlPalette[ai%len(htmlPalette)], html.EscapeString(a.Label))
+	}
+	_, err := fmt.Fprintln(w, "</p>")
+	return err
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+
+	"dasc/internal/model"
+)
+
+// Closest is the paper's first baseline: every worker greedily takes the
+// nearest feasible still-unassigned task, ignoring dependencies. Its
+// assignment is returned RAW — pairs violating the dependency constraint are
+// included. The platform (and the scoring helpers) count only the valid
+// subset, exactly as the paper evaluates the baselines: invalid assignments
+// waste the worker and the task and score zero.
+type Closest struct{}
+
+// NewClosest returns the Closest baseline allocator.
+func NewClosest() *Closest { return &Closest{} }
+
+// Name implements Allocator.
+func (c *Closest) Name() string { return NameClosest }
+
+// Assign implements Allocator.
+func (c *Closest) Assign(b *Batch) *model.Assignment {
+	out := model.NewAssignment()
+	taken := make([]bool, len(b.Tasks))
+	for wi := range b.Workers {
+		best := -1
+		bestD := math.Inf(1)
+		for ti, t := range b.Tasks {
+			if taken[ti] || !b.Feasible(wi, t) {
+				continue
+			}
+			if d := b.dist(b.Workers[wi].Loc, t.Loc); d < bestD {
+				bestD = d
+				best = ti
+			}
+		}
+		if best >= 0 {
+			taken[best] = true
+			out.Add(b.Workers[wi].W.ID, b.Tasks[best].ID)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Random is the paper's second baseline: every worker takes a uniformly
+// random feasible still-unassigned task, ignoring dependencies. Like
+// Closest, it returns its raw (possibly dependency-violating) assignment.
+type Random struct {
+	seed int64
+}
+
+// NewRandom returns the Random baseline allocator with the given seed.
+func NewRandom(seed int64) *Random { return &Random{seed: seed} }
+
+// Name implements Allocator.
+func (r *Random) Name() string { return NameRandom }
+
+// Assign implements Allocator.
+func (r *Random) Assign(b *Batch) *model.Assignment {
+	rng := newRNG(r.seed)
+	out := model.NewAssignment()
+	taken := make([]bool, len(b.Tasks))
+	var avail []int
+	for wi := range b.Workers {
+		avail = avail[:0]
+		for ti, t := range b.Tasks {
+			if !taken[ti] && b.Feasible(wi, t) {
+				avail = append(avail, ti)
+			}
+		}
+		if len(avail) == 0 {
+			continue
+		}
+		ti := avail[rng.Intn(len(avail))]
+		taken[ti] = true
+		out.Add(b.Workers[wi].W.ID, b.Tasks[ti].ID)
+	}
+	out.Sort()
+	return out
+}

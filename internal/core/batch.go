@@ -1,0 +1,174 @@
+// Package core implements the paper's contribution: the batch-based DA-SC
+// allocators. DASC_Greedy (Algorithm 1) commits the largest fully-staffable
+// associative task set per round; DASC_Game (Algorithm 3) runs a
+// best-response dynamic over an exact potential game with the utility of
+// Equation 3; Closest and Random are the paper's dependency-oblivious
+// baselines; DFS is the exact branch-and-bound used as ground truth on
+// small instances (Table VI).
+//
+// All allocators consume a Batch — the workers and tasks active in one batch
+// process b — and produce a model.Assignment that satisfies all four
+// constraints of Definition 3.
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// BatchWorker is a worker's state at the start of a batch. In the static
+// single-batch setting it mirrors the worker's declared parameters; the
+// simulator overrides location, readiness and remaining distance budget as
+// the worker travels and completes tasks.
+type BatchWorker struct {
+	W          *model.Worker
+	Loc        geo.Point // current location
+	ReadyAt    float64   // earliest time the worker can start moving
+	DistBudget float64   // remaining maximum moving distance
+}
+
+// Batch is the input of one batch process: the active workers W_b, the
+// pending tasks T_b, and the set of tasks whose dependency obligations are
+// already met by earlier batches.
+type Batch struct {
+	In      *model.Instance
+	Workers []BatchWorker
+	Tasks   []*model.Task
+	// Satisfied marks tasks assigned or completed in earlier batches; a
+	// dependency on such a task is considered met.
+	Satisfied map[model.TaskID]bool
+
+	dist    geo.DistanceFunc
+	pending map[model.TaskID]int // task ID -> index into Tasks
+}
+
+// NewStaticBatch wraps a whole instance as a single batch, the setting of
+// the paper's per-batch analysis and of the small-scale experiment: every
+// worker at its declared location with its full budget.
+func NewStaticBatch(in *model.Instance) *Batch {
+	b := &Batch{
+		In:        in,
+		Satisfied: make(map[model.TaskID]bool),
+	}
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		b.Workers = append(b.Workers, BatchWorker{
+			W: w, Loc: w.Loc, ReadyAt: w.Start, DistBudget: w.MaxDist,
+		})
+	}
+	for i := range in.Tasks {
+		b.Tasks = append(b.Tasks, &in.Tasks[i])
+	}
+	b.init()
+	return b
+}
+
+// NewBatch assembles a batch from explicit worker states and task pointers.
+// satisfied may be nil.
+func NewBatch(in *model.Instance, workers []BatchWorker, tasks []*model.Task, satisfied map[model.TaskID]bool) *Batch {
+	if satisfied == nil {
+		satisfied = make(map[model.TaskID]bool)
+	}
+	b := &Batch{In: in, Workers: workers, Tasks: tasks, Satisfied: satisfied}
+	b.init()
+	return b
+}
+
+func (b *Batch) init() {
+	b.dist = b.In.Distance()
+	b.pending = make(map[model.TaskID]int, len(b.Tasks))
+	for i, t := range b.Tasks {
+		b.pending[t.ID] = i
+	}
+}
+
+// Dist returns the batch's travel metric.
+func (b *Batch) Dist() geo.DistanceFunc { return b.dist }
+
+// TaskIndex returns the index of task id within b.Tasks, or -1 when the task
+// is not pending in this batch.
+func (b *Batch) TaskIndex(id model.TaskID) int {
+	if i, ok := b.pending[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Feasible reports whether batch worker wi can take task t under the skill,
+// deadline and distance constraints, from its current state.
+func (b *Batch) Feasible(wi int, t *model.Task) bool {
+	bw := &b.Workers[wi]
+	return model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist)
+}
+
+// TravelCost returns the travel time for batch worker wi to reach t,
+// the cost the greedy Hungarian matching minimises.
+func (b *Batch) TravelCost(wi int, t *model.Task) float64 {
+	bw := &b.Workers[wi]
+	return bw.W.TravelTime(bw.Loc, t.Loc, b.dist)
+}
+
+// StrategySets computes S_w for every batch worker: the pending tasks the
+// worker can feasibly take, as indexes into b.Tasks, ascending.
+func (b *Batch) StrategySets() [][]int {
+	out := make([][]int, len(b.Workers))
+	for wi := range b.Workers {
+		var set []int
+		for ti, t := range b.Tasks {
+			if b.Feasible(wi, t) {
+				set = append(set, ti)
+			}
+		}
+		out[wi] = set
+	}
+	return out
+}
+
+// CandidateWorkers returns, ascending, the batch worker indexes that can
+// feasibly take task t.
+func (b *Batch) CandidateWorkers(t *model.Task) []int {
+	var out []int
+	for wi := range b.Workers {
+		if b.Feasible(wi, t) {
+			out = append(out, wi)
+		}
+	}
+	return out
+}
+
+// DepSatisfiable reports whether every dependency of t is either already
+// satisfied or pending in this batch (so it could be co-assigned).
+func (b *Batch) DepSatisfiable(t *model.Task) bool {
+	for _, d := range t.Deps {
+		if b.Satisfied[d] {
+			continue
+		}
+		if _, ok := b.pending[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// shuffledIndexes returns 0..n-1 in a seeded random order.
+func shuffledIndexes(n int, rng *rand.Rand) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx
+}
+
+// sortedTaskIDs returns the IDs of the given task indexes, ascending.
+func (b *Batch) sortedTaskIDs(idxs []int) []model.TaskID {
+	ids := make([]model.TaskID, len(idxs))
+	for i, ti := range idxs {
+		ids[i] = b.Tasks[ti].ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

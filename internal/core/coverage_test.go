@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dasc/internal/model"
+)
+
+// TestGreedyCandidateTrimmingPreservesScore: shrinking the Hungarian column
+// budget must never change the score (feasibility is guaranteed by the HK
+// matching's own workers), only possibly the travel cost.
+func TestGreedyCandidateTrimmingPreservesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 6+rng.Intn(10), 6+rng.Intn(10), 3, true)
+		b := NewStaticBatch(in)
+		wide := NewGreedyOpt(GreedyOptions{MaxCandidatesPerTask: 64}).Assign(b)
+		tight := NewGreedyOpt(GreedyOptions{MaxCandidatesPerTask: 1}).Assign(b)
+		validateBatchAssignment(t, b, tight)
+		if wide.Size() != tight.Size() {
+			t.Fatalf("trial %d: trimming changed score %d → %d", trial, wide.Size(), tight.Size())
+		}
+	}
+}
+
+// TestGreedyMinimisesTravelWithinCommit: on a two-worker, one-task instance
+// the Hungarian staffing must pick the nearer worker.
+func TestGreedyMinimisesTravelWithinCommit(t *testing.T) {
+	in := &model.Instance{
+		Workers: []model.Worker{
+			{ID: 0, Loc: mustPt(10, 0), Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)},
+			{ID: 1, Loc: mustPt(1, 0), Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)},
+		},
+		Tasks: []model.Task{{ID: 0, Start: 0, Wait: 100, Requires: 0}},
+	}
+	b := NewStaticBatch(in)
+	a := NewGreedy().Assign(b)
+	if a.Size() != 1 || a.Pairs[0].Worker != 1 {
+		t.Errorf("greedy picked the far worker: %v", a)
+	}
+	// The feasibility-only matcher may pick either; it must still be valid.
+	f := NewGreedyOpt(GreedyOptions{Matcher: MatchFeasible}).Assign(b)
+	validateBatchAssignment(t, b, f)
+}
+
+func TestGameMaxRoundsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	in := randomInstance(rng, 30, 10, 2, false) // heavy contention
+	b := NewStaticBatch(in)
+	g := NewGame(GameOptions{Seed: 1, MaxRounds: 1})
+	a, trace := g.AssignTraced(b)
+	if trace.Rounds != 1 {
+		t.Errorf("Rounds = %d, want capped 1", trace.Rounds)
+	}
+	validateBatchAssignment(t, b, a) // even a truncated run must be valid
+	if len(trace.UpdateRatios) != 1 {
+		t.Errorf("UpdateRatios = %v", trace.UpdateRatios)
+	}
+}
+
+func TestGameTraceFields(t *testing.T) {
+	b := NewStaticBatch(model.Example1())
+	_, trace := NewGame(GameOptions{Seed: 2}).AssignTraced(b)
+	if trace.FinalUtility <= 0 {
+		t.Errorf("FinalUtility = %v", trace.FinalUtility)
+	}
+	if !trace.Converged || trace.Rounds == 0 {
+		t.Errorf("trace = %+v", trace)
+	}
+	// Ratios end at (or below) the threshold.
+	last := trace.UpdateRatios[len(trace.UpdateRatios)-1]
+	if last > 0 {
+		t.Errorf("strict game ended with ratio %v", last)
+	}
+}
+
+func TestStableSortByDesc(t *testing.T) {
+	idxs := []int{0, 1, 2, 3}
+	key := map[int]float64{0: 1, 1: 3, 2: 3, 3: 2}
+	stableSortByDesc(idxs, func(i int) float64 { return key[i] })
+	want := []int{1, 2, 3, 0} // ties (1,2) keep index order
+	for i := range want {
+		if idxs[i] != want[i] {
+			t.Fatalf("order = %v", idxs)
+		}
+	}
+}
+
+func TestComputeStatsOnCycle(t *testing.T) {
+	in := model.Example1()
+	in.Tasks[0].Deps = []model.TaskID{2}
+	st := in.ComputeStats()
+	if st.CriticalPathLength != 0 {
+		t.Errorf("cyclic CriticalPathLength = %d, want 0", st.CriticalPathLength)
+	}
+	if st.Workers != 3 || st.Tasks != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestBaselineRawAssignmentsAreFeasiblePairs: even though the baselines skip
+// the dependency constraint, every raw pair must individually satisfy skill,
+// deadline and distance.
+func TestBaselineRawAssignmentsAreFeasiblePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 8, 10, 3, true)
+		b := NewStaticBatch(in)
+		for _, alloc := range []Allocator{NewClosest(), NewRandom(int64(trial))} {
+			raw := alloc.Assign(b)
+			workerSeen := map[model.WorkerID]bool{}
+			taskSeen := map[model.TaskID]bool{}
+			for _, p := range raw.Pairs {
+				if workerSeen[p.Worker] || taskSeen[p.Task] {
+					t.Fatalf("%s violated exclusivity", alloc.Name())
+				}
+				workerSeen[p.Worker] = true
+				taskSeen[p.Task] = true
+				ti := b.TaskIndex(p.Task)
+				wi := -1
+				for i := range b.Workers {
+					if b.Workers[i].W.ID == p.Worker {
+						wi = i
+						break
+					}
+				}
+				if !b.Feasible(wi, b.Tasks[ti]) {
+					t.Fatalf("%s produced infeasible pair (%d,%d)", alloc.Name(), p.Worker, p.Task)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+
+	"dasc/internal/model"
+)
+
+// GameOptions configures DASC_Game.
+type GameOptions struct {
+	// Alpha is the normalisation parameter α of Equation 3 splitting each
+	// task's unit value into (α−1)/α Utility_Self and 1/α
+	// Utility_Dependency. Values ≤ 1 fall back to the default 10.
+	Alpha float64
+	// Threshold is the termination threshold on the strategy-update ratio:
+	// the round loop stops when the fraction of workers changing strategy
+	// in a round drops to or below it. 0 is the strict Nash-equilibrium
+	// condition (the paper's Game); 0.05 is the paper's Game-5%.
+	Threshold float64
+	// MaxRounds caps the best-response rounds as a safety net; zero means
+	// 64 + 4·min(n_b, m_b), comfortably above the observed convergence.
+	MaxRounds int
+	// GreedyInit seeds the initial strategies from DASC_Greedy instead of
+	// uniformly random choices — the paper's G-G heuristic.
+	GreedyInit bool
+	// ShuffleOrder visits workers in a fresh random order every
+	// best-response round instead of Algorithm 3's fixed order. Random
+	// sweeps can escape order-induced equilibria at the cost of slightly
+	// slower convergence; still deterministic for a fixed Seed.
+	ShuffleOrder bool
+	// Seed drives the random initialisation and conflict resolution.
+	Seed int64
+}
+
+// Game implements DASC_Game (Algorithm 3): model the batch as a potential
+// game, run best-response dynamics to (near) equilibrium, then resolve each
+// multi-claimed task to a single worker and drop dependency-violating
+// assignments.
+type Game struct {
+	opt GameOptions
+}
+
+// NewGame returns a DASC_Game allocator.
+func NewGame(opt GameOptions) *Game {
+	if opt.Alpha <= 1 {
+		opt.Alpha = 10
+	}
+	if opt.Threshold < 0 {
+		opt.Threshold = 0
+	}
+	return &Game{opt: opt}
+}
+
+// Name implements Allocator.
+func (g *Game) Name() string {
+	switch {
+	case g.opt.GreedyInit:
+		return NameGG
+	case g.opt.Threshold > 0:
+		return NameGame5
+	default:
+		return NameGame
+	}
+}
+
+// Options returns the game's effective configuration.
+func (g *Game) Options() GameOptions { return g.opt }
+
+// GameTrace reports how a best-response run went; retrievable via AssignTraced.
+type GameTrace struct {
+	Rounds       int       // best-response rounds executed
+	Converged    bool      // reached the termination condition before MaxRounds
+	UpdateRatios []float64 // per-round fraction of workers that switched
+	FinalUtility float64   // U(S) at termination
+}
+
+// Assign implements Allocator.
+func (g *Game) Assign(b *Batch) *model.Assignment {
+	a, _ := g.AssignTraced(b)
+	return a
+}
+
+// AssignTraced runs the game and additionally returns its convergence trace.
+func (g *Game) AssignTraced(b *Batch) (*model.Assignment, *GameTrace) {
+	rng := newRNG(g.opt.Seed)
+	gs := newGameState(b, g.opt.Alpha)
+	strategies := b.StrategySets()
+	trace := &GameTrace{}
+
+	// Initialisation: random strategy per worker (Algorithm 3 line 2), or
+	// the DASC_Greedy assignment for G-G; greedy-unassigned workers fall
+	// back to a random strategy.
+	if g.opt.GreedyInit {
+		greedy := NewGreedyOpt(GreedyOptions{}).Assign(b)
+		taskOf := make(map[model.WorkerID]model.TaskID, greedy.Size())
+		for _, p := range greedy.Pairs {
+			taskOf[p.Worker] = p.Task
+		}
+		for wi := range b.Workers {
+			if tid, ok := taskOf[b.Workers[wi].W.ID]; ok {
+				gs.move(wi, b.TaskIndex(tid))
+			} else if s := strategies[wi]; len(s) > 0 {
+				gs.move(wi, s[rng.Intn(len(s))])
+			}
+		}
+	} else {
+		for wi := range b.Workers {
+			if s := strategies[wi]; len(s) > 0 {
+				gs.move(wi, s[rng.Intn(len(s))])
+			}
+		}
+	}
+
+	maxRounds := g.opt.MaxRounds
+	if maxRounds <= 0 {
+		minNM := len(b.Workers)
+		if len(b.Tasks) < minNM {
+			minNM = len(b.Tasks)
+		}
+		maxRounds = 64 + 4*minNM
+	}
+
+	active := 0
+	for wi := range b.Workers {
+		if len(strategies[wi]) > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return model.NewAssignment(), trace
+	}
+
+	order := make([]int, len(b.Workers))
+	for i := range order {
+		order[i] = i
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := 0
+		if g.opt.ShuffleOrder {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, wi := range order {
+			set := strategies[wi]
+			if len(set) == 0 {
+				continue
+			}
+			cur := gs.strategy[wi]
+			bestTi := cur
+			bestU := gs.utility(cur, cur)
+			for _, ti := range set {
+				if ti == cur {
+					continue
+				}
+				if u := gs.utility(ti, cur); u > bestU+utilityEps {
+					bestU = u
+					bestTi = ti
+				}
+			}
+			if bestTi != cur {
+				gs.move(wi, bestTi)
+				changed++
+			}
+		}
+		trace.Rounds++
+		ratio := float64(changed) / float64(active)
+		trace.UpdateRatios = append(trace.UpdateRatios, ratio)
+		if ratio <= g.opt.Threshold {
+			trace.Converged = true
+			break
+		}
+	}
+	trace.FinalUtility = gs.totalUtility()
+
+	// Resolution: one worker per task (random among claimants), then the
+	// dependency fixpoint removes assignments whose dependencies ended up
+	// unassigned.
+	return finishAssignment(b, g.resolve(b, gs, rng)), trace
+}
+
+// utilityEps guards the strict-improvement test against floating-point
+// noise; without it equal-utility oscillation could stall convergence.
+const utilityEps = 1e-12
+
+// resolve picks one claimant per claimed task. Among a task's claimants the
+// winner is chosen uniformly at random (the paper randomly selects one);
+// losers stay idle for this batch.
+func (g *Game) resolve(b *Batch, gs *gameState, rng *rand.Rand) *model.Assignment {
+	claimants := make([][]int, len(b.Tasks))
+	for wi, ti := range gs.strategy {
+		if ti >= 0 {
+			claimants[ti] = append(claimants[ti], wi)
+		}
+	}
+	out := model.NewAssignment()
+	for ti, ws := range claimants {
+		if len(ws) == 0 {
+			continue
+		}
+		wi := ws[rng.Intn(len(ws))]
+		out.Add(b.Workers[wi].W.ID, b.Tasks[ti].ID)
+	}
+	return out
+}

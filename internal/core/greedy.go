@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sort"
+
+	"dasc/internal/matching"
+	"dasc/internal/model"
+)
+
+// MatcherKind selects how DASC_Greedy staffs an associative task set once
+// the Hopcroft–Karp feasibility check passes.
+type MatcherKind int
+
+const (
+	// MatchHungarian picks the minimum-total-travel-time complete staffing
+	// with the Hungarian algorithm — the paper's Algorithm 1 line 5.
+	MatchHungarian MatcherKind = iota
+	// MatchFeasible keeps the arbitrary complete matching Hopcroft–Karp
+	// found. Cheaper; ablated in the benchmarks.
+	MatchFeasible
+	// MatchAuction staffs with Bertsekas' auction algorithm instead of
+	// Hungarian — ε-optimal travel cost, same score; an independently
+	// implemented cross-check and ablation point.
+	MatchAuction
+)
+
+// GreedyOptions configures DASC_Greedy.
+type GreedyOptions struct {
+	Matcher MatcherKind
+	// MaxCandidatesPerTask trims the Hungarian cost matrix to the K
+	// cheapest candidate workers per task (plus the feasibility matching's
+	// own workers, so completeness is never lost). Zero means 8.
+	MaxCandidatesPerTask int
+}
+
+// Greedy implements DASC_Greedy (Algorithm 1): build the associative task
+// sets, then repeatedly commit the heaviest set that can be completely
+// staffed by distinct available workers, updating the remaining sets and the
+// worker pool. With the paper's unit task weights "heaviest" is "largest";
+// with the weighted extension the selection key is the summed task weight.
+// Per-batch approximation ratio 1 − 1/e (Theorem III.2).
+type Greedy struct {
+	opt GreedyOptions
+}
+
+// NewGreedy returns a DASC_Greedy allocator with default options.
+func NewGreedy() *Greedy { return NewGreedyOpt(GreedyOptions{}) }
+
+// NewGreedyOpt returns a DASC_Greedy allocator with explicit options.
+func NewGreedyOpt(opt GreedyOptions) *Greedy {
+	if opt.MaxCandidatesPerTask <= 0 {
+		opt.MaxCandidatesPerTask = 8
+	}
+	return &Greedy{opt: opt}
+}
+
+// Name implements Allocator.
+func (g *Greedy) Name() string { return NameGreedy }
+
+// Assign implements Allocator.
+func (g *Greedy) Assign(b *Batch) *model.Assignment {
+	out := model.NewAssignment()
+	sets := atSets(b)
+	if len(sets) == 0 {
+		return out
+	}
+
+	assignedTask := make([]bool, len(b.Tasks))
+	workerFree := make([]bool, len(b.Workers))
+	for i := range workerFree {
+		workerFree[i] = true
+	}
+	// setsByTask[ti] lists the sets containing pending task ti, so committing
+	// a task can shrink exactly the affected sets.
+	setsByTask := make([][]*atSet, len(b.Tasks))
+	for _, s := range sets {
+		for _, ti := range s.members {
+			setsByTask[ti] = append(setsByTask[ti], s)
+		}
+	}
+	// Candidate workers per task are stable for the whole batch; only their
+	// availability changes. Precompute once.
+	candidates := make([][]int, len(b.Tasks))
+	for ti, t := range b.Tasks {
+		candidates[ti] = b.CandidateWorkers(t)
+	}
+
+	h := &setHeap{}
+	for _, s := range sets {
+		h.push(setEntry{weight: s.weight, set: s})
+	}
+
+	for {
+		e, ok := h.pop()
+		if !ok {
+			break
+		}
+		s := e.set
+		cur := s.recount(b, assignedTask)
+		if cur == 0 {
+			continue // fully assigned through other sets
+		}
+		if s.weight != e.weight {
+			// Stale entry: the set shrank since it was pushed. Re-queue at
+			// its true weight so the largest-first order stays correct.
+			h.push(setEntry{weight: s.weight, set: s})
+			continue
+		}
+		members := s.aliveMembers(assignedTask)
+		staff, ok := g.staff(b, members, candidates, workerFree)
+		if !ok {
+			// Blocked with the current worker pool. Workers only get
+			// scarcer, so the set can only become assignable again by
+			// shrinking — at which point the tasks committed elsewhere
+			// re-queue it below.
+			continue
+		}
+		// Commit ⟨tw, tc⟩: record pairs, retire workers and tasks, shrink
+		// every set sharing a member and re-queue it.
+		requeue := make(map[*atSet]bool)
+		for i, ti := range members {
+			wi := staff[i]
+			out.Add(b.Workers[wi].W.ID, b.Tasks[ti].ID)
+			workerFree[wi] = false
+			assignedTask[ti] = true
+			for _, other := range setsByTask[ti] {
+				if other != s {
+					requeue[other] = true
+				}
+			}
+		}
+		for other := range requeue {
+			if n := other.recount(b, assignedTask); n > 0 {
+				h.push(setEntry{weight: other.weight, set: other})
+			}
+		}
+	}
+	return finishAssignment(b, out)
+}
+
+// staff finds distinct free workers for every task index in members.
+// It returns the chosen worker index per member, aligned with members, or
+// ok=false when no complete staffing exists.
+func (g *Greedy) staff(b *Batch, members []int, candidates [][]int, workerFree []bool) ([]int, bool) {
+	// Feasibility first: Hopcroft–Karp over the full free-candidate graph.
+	// Column space is the union of free candidates, densely renumbered.
+	colOf := make(map[int]int)
+	var cols []int
+	bg := matching.NewBipartite(len(members), 0)
+	for row, ti := range members {
+		for _, wi := range candidates[ti] {
+			if !workerFree[wi] {
+				continue
+			}
+			ci, ok := colOf[wi]
+			if !ok {
+				ci = len(cols)
+				colOf[wi] = ci
+				cols = append(cols, wi)
+			}
+			bg.Adj[row] = append(bg.Adj[row], ci)
+		}
+	}
+	bg.N = len(cols)
+	matchL, size := bg.MaxMatchingHK()
+	if size != len(members) {
+		return nil, false
+	}
+	if g.opt.Matcher == MatchFeasible {
+		staff := make([]int, len(members))
+		for row := range members {
+			staff[row] = cols[matchL[row]]
+		}
+		return staff, true
+	}
+
+	// Cost-optimal staffing: Hungarian over a trimmed column set — the K
+	// cheapest free candidates per task plus the HK matching's own workers,
+	// which keeps a complete matching representable.
+	keep := make(map[int]bool)
+	for row := range members {
+		keep[cols[matchL[row]]] = true
+	}
+	type cand struct {
+		wi   int
+		cost float64
+	}
+	for _, ti := range members {
+		var cs []cand
+		for _, wi := range candidates[ti] {
+			if workerFree[wi] {
+				cs = append(cs, cand{wi, b.TravelCost(wi, b.Tasks[ti])})
+			}
+		}
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].cost != cs[j].cost {
+				return cs[i].cost < cs[j].cost
+			}
+			return cs[i].wi < cs[j].wi
+		})
+		for i := 0; i < len(cs) && i < g.opt.MaxCandidatesPerTask; i++ {
+			keep[cs[i].wi] = true
+		}
+	}
+	trimmed := make([]int, 0, len(keep))
+	for wi := range keep {
+		trimmed = append(trimmed, wi)
+	}
+	sort.Ints(trimmed)
+	colIdx := make(map[int]int, len(trimmed))
+	for i, wi := range trimmed {
+		colIdx[wi] = i
+	}
+	cost := make([][]float64, len(members))
+	for row, ti := range members {
+		cost[row] = make([]float64, len(trimmed))
+		for i := range cost[row] {
+			cost[row][i] = matching.Forbidden
+		}
+		for _, wi := range candidates[ti] {
+			if workerFree[wi] {
+				cost[row][colIdx[wi]] = b.TravelCost(wi, b.Tasks[ti])
+			}
+		}
+	}
+	var (
+		assign []int
+		err    error
+	)
+	if g.opt.Matcher == MatchAuction {
+		assign, _, err = matching.Auction(cost, 0)
+	} else {
+		assign, _, err = matching.Hungarian(cost)
+	}
+	if err != nil {
+		// Should be unreachable (HK proved feasibility and its workers are
+		// all kept), but fall back to the feasible matching defensively.
+		staff := make([]int, len(members))
+		for row := range members {
+			staff[row] = cols[matchL[row]]
+		}
+		return staff, true
+	}
+	staff := make([]int, len(members))
+	for row := range members {
+		staff[row] = trimmed[assign[row]]
+	}
+	return staff, true
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dasc/internal/model"
+)
+
+func TestImproveNeverShrinksAndStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(10), 4+rng.Intn(12), 3, true)
+		b := NewStaticBatch(in)
+		for _, name := range AllNames() {
+			alloc, _ := NewByName(name, int64(trial))
+			base := DependencyFixpoint(b, alloc.Assign(b))
+			improved := Improve(b, base)
+			validateBatchAssignment(t, b, improved)
+			if improved.Size() < base.Size() {
+				t.Fatalf("trial %d %s: improve shrank %d → %d", trial, name, base.Size(), improved.Size())
+			}
+			// The base task set must be contained in the improved one.
+			got := improved.TaskSet()
+			for _, p := range base.Pairs {
+				if !got[p.Task] {
+					t.Fatalf("trial %d %s: improve dropped task %d", trial, name, p.Task)
+				}
+			}
+		}
+	}
+}
+
+func TestImproveNeverBeatsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(5), 3+rng.Intn(7), 3, true)
+		b := NewStaticBatch(in)
+		opt := NewDFS(DFSOptions{}).Assign(b).Size()
+		improved := NewImproved(NewRandom(int64(trial))).Assign(b)
+		validateBatchAssignment(t, b, improved)
+		if improved.Size() > opt {
+			t.Fatalf("trial %d: improved %d > optimum %d", trial, improved.Size(), opt)
+		}
+	}
+}
+
+// TestImproveRecoversStrandedWorker: the reshuffle case the greedy cannot
+// reach. Worker w0 can do both tasks, w1 only t0. If w0 sits on t0 (a poor
+// but valid assignment), Improve must reshuffle: w1→t0, w0→t1.
+func TestImproveRecoversStrandedWorker(t *testing.T) {
+	in := &model.Instance{
+		Workers: []model.Worker{
+			{ID: 0, Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0, 1)},
+			{ID: 1, Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)},
+		},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, Wait: 100, Requires: 0},
+			{ID: 1, Start: 0, Wait: 100, Requires: 1},
+		},
+	}
+	b := NewStaticBatch(in)
+	poor := model.NewAssignment()
+	poor.Add(0, 0) // w0 → t0, stranding w1
+	improved := Improve(b, poor)
+	if improved.Size() != 2 {
+		t.Fatalf("improve failed to reshuffle: %v", improved)
+	}
+	validateBatchAssignment(t, b, improved)
+}
+
+// TestImproveUnlocksDependants: adopting a task can make its dependants
+// eligible in the next sweep.
+func TestImproveUnlocksDependants(t *testing.T) {
+	in := &model.Instance{
+		Workers: []model.Worker{
+			{ID: 0, Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)},
+			{ID: 1, Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)},
+		},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, Wait: 100, Requires: 0},
+			{ID: 1, Start: 0, Wait: 100, Requires: 0, Deps: []model.TaskID{0}},
+		},
+	}
+	b := NewStaticBatch(in)
+	improved := Improve(b, model.NewAssignment()) // start from nothing
+	if improved.Size() != 2 {
+		t.Fatalf("improve from empty = %v, want the whole chain", improved)
+	}
+}
+
+func TestImprovedAllocatorName(t *testing.T) {
+	w := NewImproved(NewGreedy())
+	if w.Name() != "Greedy+aug" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	b := NewStaticBatch(model.Example1())
+	a := w.Assign(b)
+	validateBatchAssignment(t, b, a)
+	if a.Size() != 3 {
+		t.Errorf("Greedy+aug on Example1 = %d", a.Size())
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+// EquilibriumQuality summarises how good DASC_Game's Nash equilibria are on
+// one batch, the empirical counterpart of Theorem IV.2's price-of-stability /
+// price-of-anarchy bounds. Optimum is the exact DFS score (or the best score
+// seen, if the DFS truncated); Best/Worst are the extreme equilibrium scores
+// over the sampled random initialisations.
+type EquilibriumQuality struct {
+	Optimum    int
+	Exact      bool // Optimum is provably optimal (DFS completed)
+	Best       int
+	Worst      int
+	Mean       float64
+	Samples    int
+	BestRatio  float64 // empirical price of stability: Best / Optimum
+	WorstRatio float64 // empirical price of anarchy:   Worst / Optimum
+}
+
+// MeasureEquilibriumQuality runs DASC_Game from `samples` different random
+// initialisations (seeds seedBase..seedBase+samples−1) against the DFS
+// optimum. Intended for small instances — the DFS is exponential; cap its
+// effort through dfsOpt.MaxNodes for larger ones.
+func MeasureEquilibriumQuality(b *Batch, opt GameOptions, dfsOpt DFSOptions, samples int, seedBase int64) EquilibriumQuality {
+	if samples < 1 {
+		samples = 1
+	}
+	d := NewDFS(dfsOpt)
+	q := EquilibriumQuality{
+		Optimum: d.Assign(b).Size(),
+		Exact:   d.Exact(),
+		Samples: samples,
+	}
+	sum := 0
+	for i := 0; i < samples; i++ {
+		o := opt
+		o.Seed = seedBase + int64(i)
+		score := NewGame(o).Assign(b).Size()
+		if i == 0 || score > q.Best {
+			q.Best = score
+		}
+		if i == 0 || score < q.Worst {
+			q.Worst = score
+		}
+		sum += score
+	}
+	q.Mean = float64(sum) / float64(samples)
+	// A truncated DFS can be beaten by the game; widen the reference so the
+	// ratios stay ≤ 1 and meaningful.
+	if q.Best > q.Optimum {
+		q.Optimum = q.Best
+		q.Exact = false
+	}
+	if q.Optimum > 0 {
+		q.BestRatio = float64(q.Best) / float64(q.Optimum)
+		q.WorstRatio = float64(q.Worst) / float64(q.Optimum)
+	}
+	return q
+}

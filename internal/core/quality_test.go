@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+func TestEquilibriumQualityExample1(t *testing.T) {
+	b := NewStaticBatch(model.Example1())
+	q := MeasureEquilibriumQuality(b, GameOptions{}, DFSOptions{}, 8, 1)
+	if !q.Exact || q.Optimum != 3 {
+		t.Fatalf("optimum = %d exact=%v, want 3/true", q.Optimum, q.Exact)
+	}
+	if q.Best < q.Worst || q.Best > q.Optimum {
+		t.Errorf("inconsistent extremes: %+v", q)
+	}
+	if q.BestRatio < q.WorstRatio || q.BestRatio > 1 {
+		t.Errorf("inconsistent ratios: %+v", q)
+	}
+	if q.Mean < float64(q.Worst) || q.Mean > float64(q.Best) {
+		t.Errorf("mean outside extremes: %+v", q)
+	}
+	if q.Samples != 8 {
+		t.Errorf("Samples = %d", q.Samples)
+	}
+}
+
+func TestEquilibriumQualityRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(4), 4+rng.Intn(6), 3, true)
+		b := NewStaticBatch(in)
+		q := MeasureEquilibriumQuality(b, GameOptions{}, DFSOptions{}, 5, int64(trial))
+		if q.Best > q.Optimum {
+			t.Fatalf("trial %d: equilibrium %d beats exact optimum %d", trial, q.Best, q.Optimum)
+		}
+		// Theorem IV.2 only lower-bounds equilibria loosely; empirically the
+		// worst equilibrium should still assign something when the optimum
+		// does (a zero-score equilibrium would mean best-response is broken).
+		if q.Optimum > 0 && q.Worst == 0 {
+			t.Fatalf("trial %d: zero-score equilibrium with optimum %d", trial, q.Optimum)
+		}
+	}
+}
+
+func TestEquilibriumQualityTruncatedDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	in := randomInstance(rng, 10, 12, 2, true)
+	b := NewStaticBatch(in)
+	q := MeasureEquilibriumQuality(b, GameOptions{}, DFSOptions{MaxNodes: 3}, 4, 1)
+	if q.Exact {
+		t.Error("Exact with a 3-node DFS cap")
+	}
+	if q.Best > q.Optimum {
+		t.Error("reference not widened to cover the game's best")
+	}
+	// samples < 1 clamps.
+	q2 := MeasureEquilibriumQuality(b, GameOptions{}, DFSOptions{MaxNodes: 3}, 0, 1)
+	if q2.Samples != 1 {
+		t.Errorf("Samples = %d, want clamped 1", q2.Samples)
+	}
+}
+
+// TestAllocatorsHonourCustomMetric: the paper notes the approaches work with
+// any distance function; with Manhattan distance the diagonal task becomes
+// unreachable while the axis-aligned one stays reachable.
+func TestAllocatorsHonourCustomMetric(t *testing.T) {
+	in := &model.Instance{
+		Workers: []model.Worker{{
+			ID: 0, Start: 0, Wait: 100, Velocity: 1, MaxDist: 10,
+			Skills: model.NewSkillSet(0),
+		}},
+		Tasks: []model.Task{
+			{ID: 0, Loc: mustPt(7, 7), Start: 0, Wait: 100, Requires: 0}, // L1 = 14 > 10, L2 ≈ 9.9 ≤ 10
+			{ID: 1, Loc: mustPt(9, 0), Start: 0, Wait: 100, Requires: 0}, // L1 = L2 = 9
+		},
+	}
+	euclid := NewStaticBatch(in)
+	if !euclid.Feasible(0, &in.Tasks[0]) {
+		t.Fatal("diagonal task should be Euclidean-feasible")
+	}
+	inM := *in
+	inM.Dist = manhattan
+	man := NewStaticBatch(&inM)
+	if man.Feasible(0, &in.Tasks[0]) {
+		t.Fatal("diagonal task should be Manhattan-infeasible")
+	}
+	a := NewGreedy().Assign(man)
+	if a.Size() != 1 || a.Pairs[0].Task != 1 {
+		t.Errorf("greedy under Manhattan = %v, want only t1", a)
+	}
+}
+
+func mustPt(x, y float64) geo.Point { return geo.Pt(x, y) }
+
+func manhattan(a, b geo.Point) float64 { return geo.Manhattan(a, b) }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// weightedInstance: one worker, two mutually exclusive tasks (one worker,
+// two tasks, both feasible). Task 1 has weight 5 — every weight-aware
+// allocator must pick it over the closer task 0.
+func weightedInstance() *model.Instance {
+	return &model.Instance{
+		Workers: []model.Worker{{
+			ID: 0, Start: 0, Wait: 100, Velocity: 1, MaxDist: 100,
+			Skills: model.NewSkillSet(0),
+		}},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, Wait: 100, Requires: 0}, // weight 1, at distance 0
+			{ID: 1, Loc: geo.Pt(3, 0), Start: 0, Wait: 100, Requires: 0, Weight: 5},
+		},
+	}
+}
+
+func TestWeightedGreedyPicksHeavyTask(t *testing.T) {
+	in := weightedInstance()
+	b := NewStaticBatch(in)
+	a := NewGreedy().Assign(b)
+	if a.Size() != 1 || a.Pairs[0].Task != 1 {
+		t.Fatalf("greedy = %v, want heavy t1", a)
+	}
+	if got := a.WeightSum(in); got != 5 {
+		t.Errorf("WeightSum = %v", got)
+	}
+}
+
+func TestWeightedDFSAndDPPickHeavyTask(t *testing.T) {
+	in := weightedInstance()
+	b := NewStaticBatch(in)
+	if a := NewDFS(DFSOptions{}).Assign(b); a.WeightSum(in) != 5 {
+		t.Errorf("DFS = %v", a)
+	}
+	a, ok := NewExactDP().AssignExact(b)
+	if !ok || a.WeightSum(in) != 5 {
+		t.Errorf("DP = %v ok=%v", a, ok)
+	}
+}
+
+func TestWeightedGamePrefersHeavyTask(t *testing.T) {
+	in := weightedInstance()
+	b := NewStaticBatch(in)
+	a := NewGame(GameOptions{Seed: 1}).Assign(b)
+	if a.Size() != 1 || a.Pairs[0].Task != 1 {
+		t.Fatalf("game = %v, want heavy t1", a)
+	}
+}
+
+// TestWeightedChainVsHeavySingle: with two workers, a weight-3+3 chain and
+// a weight-5 single, the optimum staffs t0 and the independent t2 (weight
+// 8). Greedy commits the heaviest associative set {t0,t1} (weight 6) first
+// and ends at 6 — inside the (1−1/e) bound, a textbook illustration of its
+// suboptimality.
+func TestWeightedChainVsHeavySingle(t *testing.T) {
+	in := &model.Instance{
+		Workers: []model.Worker{
+			{ID: 0, Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)},
+			{ID: 1, Start: 0, Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)},
+		},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, Wait: 100, Requires: 0, Weight: 3},
+			{ID: 1, Start: 0, Wait: 100, Requires: 0, Weight: 3, Deps: []model.TaskID{0}},
+			{ID: 2, Start: 0, Wait: 100, Requires: 0, Weight: 5},
+		},
+	}
+	b := NewStaticBatch(in)
+	opt := NewDFS(DFSOptions{}).Assign(b)
+	if got := opt.WeightSum(in); got != 8 {
+		t.Fatalf("optimal weight = %v, want 8 (t0 + t2)", got)
+	}
+	gr := NewGreedy().Assign(b)
+	if got := gr.WeightSum(in); got != 6 {
+		t.Errorf("greedy weight = %v, want 6 — the heaviest-set-first choice (%v)", got, gr)
+	}
+	if got := gr.WeightSum(in); got < (1-1/math.E)*8-1e-9 {
+		t.Errorf("greedy weight %v below the (1−1/e) bound", got)
+	}
+}
+
+// TestWeightedExactSolversAgree: on random weighted instances the two
+// independent exact solvers must report the same optimal weight.
+func TestWeightedExactSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(5), 2+rng.Intn(8), 3, true)
+		for i := range in.Tasks {
+			in.Tasks[i].Weight = float64(1 + rng.Intn(5))
+		}
+		b := NewStaticBatch(in)
+		dfs := NewDFS(DFSOptions{})
+		aDFS := dfs.Assign(b)
+		if !dfs.Exact() {
+			t.Fatalf("trial %d: DFS truncated", trial)
+		}
+		aDP, ok := NewExactDP().AssignExact(b)
+		if !ok {
+			t.Fatalf("trial %d: DP over limit", trial)
+		}
+		if math.Abs(aDFS.WeightSum(in)-aDP.WeightSum(in)) > 1e-9 {
+			t.Fatalf("trial %d: DFS weight %v != DP weight %v",
+				trial, aDFS.WeightSum(in), aDP.WeightSum(in))
+		}
+		validateBatchAssignment(t, b, aDFS)
+		validateBatchAssignment(t, b, aDP)
+	}
+}
+
+// TestUnitWeightsPreservePaperBehaviour: with all weights at the default,
+// WeightSum == Size and allocation results are unchanged relative to an
+// explicit weight of 1.
+func TestUnitWeightsPreservePaperBehaviour(t *testing.T) {
+	in := model.Example1()
+	b := NewStaticBatch(in)
+	a := NewGreedy().Assign(b)
+	if a.WeightSum(in) != float64(a.Size()) {
+		t.Errorf("unit WeightSum %v != Size %d", a.WeightSum(in), a.Size())
+	}
+	in2 := model.Example1()
+	for i := range in2.Tasks {
+		in2.Tasks[i].Weight = 1
+	}
+	a2 := NewGreedy().Assign(NewStaticBatch(in2))
+	if a.String() != a2.String() {
+		t.Errorf("explicit unit weights changed the result: %v vs %v", a, a2)
+	}
+}
+
+func TestEffWeight(t *testing.T) {
+	if (&model.Task{}).EffWeight() != 1 {
+		t.Error("zero weight should default to 1")
+	}
+	if (&model.Task{Weight: -3}).EffWeight() != 1 {
+		t.Error("negative weight should default to 1")
+	}
+	if (&model.Task{Weight: 2.5}).EffWeight() != 2.5 {
+		t.Error("positive weight ignored")
+	}
+}

@@ -1,0 +1,361 @@
+package dag
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustAdd(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddDep(u, v); err != nil {
+		t.Fatalf("AddDep(%d,%d): %v", u, v, err)
+	}
+}
+
+// paperGraph builds the dependency graph of Example 1:
+// t2→t1, t3→{t1,t2}, t5→t4 (0-indexed: 1→0, 2→{0,1}, 4→3).
+func paperGraph(t *testing.T) *Graph {
+	g := New(5)
+	mustAdd(t, g, 1, 0)
+	mustAdd(t, g, 2, 0)
+	mustAdd(t, g, 2, 1)
+	mustAdd(t, g, 4, 3)
+	return g
+}
+
+func TestAddDepBasics(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 3, 1)
+	if g.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (auto-grow)", g.Len())
+	}
+	if !g.HasDep(3, 1) || g.HasDep(1, 3) {
+		t.Error("HasDep direction wrong")
+	}
+	mustAdd(t, g, 3, 1) // duplicate ignored
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d after duplicate add", g.EdgeCount())
+	}
+	if err := g.AddDep(2, 2); !errors.Is(err, ErrCycle) {
+		t.Errorf("self-dep err = %v", err)
+	}
+	if err := g.AddDep(-1, 0); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestDepsAndDependents(t *testing.T) {
+	g := paperGraph(t)
+	if got := sortedInts(g.Deps(2)); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Deps(2) = %v", got)
+	}
+	if got := sortedInts(g.Dependents(0)); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Dependents(0) = %v", got)
+	}
+	if g.Deps(99) != nil || g.Deps(-1) != nil {
+		t.Error("out-of-range Deps should be nil")
+	}
+}
+
+func TestRoots(t *testing.T) {
+	g := paperGraph(t)
+	if got := g.Roots(); !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Errorf("Roots = %v", got)
+	}
+}
+
+func TestTopoSortRespectsDeps(t *testing.T) {
+	g := paperGraph(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < g.Len(); u++ {
+		for _, v := range g.Deps(u) {
+			if pos[int(v)] >= pos[u] {
+				t.Errorf("dep %d of %d appears at %d >= %d", v, u, pos[int(v)], pos[u])
+			}
+		}
+	}
+	if len(order) != 5 {
+		t.Errorf("order length %d", len(order))
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := paperGraph(t)
+	a, _ := g.TopoSort()
+	b, _ := g.TopoSort()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("nondeterministic order: %v vs %v", a, b)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	if !g.IsAcyclic() {
+		t.Fatal("chain should be acyclic")
+	}
+	if c := g.FindCycle(); c != nil {
+		t.Fatalf("FindCycle on acyclic = %v", c)
+	}
+	mustAdd(t, g, 2, 0) // close the cycle
+	if g.IsAcyclic() {
+		t.Fatal("cycle not detected")
+	}
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Errorf("TopoSort err = %v", err)
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("FindCycle = %v", cyc)
+	}
+	// Verify each vertex depends on the next (wrapping).
+	for i, u := range cyc {
+		v := cyc[(i+1)%len(cyc)]
+		if !g.HasDep(u, v) {
+			t.Errorf("cycle edge %d→%d missing", u, v)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := paperGraph(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 3}, {1, 4}, {2}}
+	if !reflect.DeepEqual(levels, want) {
+		t.Errorf("Levels = %v, want %v", levels, want)
+	}
+	if cp, _ := g.CriticalPathLen(); cp != 2 {
+		t.Errorf("CriticalPathLen = %d", cp)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := paperGraph(t)
+	if got := g.Ancestors(2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Ancestors(2) = %v", got)
+	}
+	if got := g.Ancestors(0); len(got) != 0 {
+		t.Errorf("Ancestors(0) = %v", got)
+	}
+	if got := g.Descendants(0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Descendants(0) = %v", got)
+	}
+	if got := g.Descendants(3); !reflect.DeepEqual(got, []int{4}) {
+		t.Errorf("Descendants(3) = %v", got)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	// Chain 3→2→1→0 closed should give 3 deps for vertex 3.
+	g := New(4)
+	mustAdd(t, g, 1, 0)
+	mustAdd(t, g, 2, 1)
+	mustAdd(t, g, 3, 2)
+	if g.IsTransitivelyClosed() {
+		t.Fatal("chain should not be closed")
+	}
+	c, err := g.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedInts(c.Deps(3)); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("closure Deps(3) = %v", got)
+	}
+	if !c.IsTransitivelyClosed() {
+		t.Error("closure not closed")
+	}
+	// Closure is idempotent.
+	c2, err := c.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.EdgeCount() != c.EdgeCount() {
+		t.Errorf("closure not idempotent: %d vs %d edges", c2.EdgeCount(), c.EdgeCount())
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 2, 1)
+	mustAdd(t, g, 1, 0)
+	mustAdd(t, g, 2, 0) // redundant: 2→1→0
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasDep(2, 0) {
+		t.Error("redundant edge kept")
+	}
+	if !r.HasDep(2, 1) || !r.HasDep(1, 0) {
+		t.Error("required edges dropped")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := paperGraph(t)
+	c := g.Clone()
+	mustAdd(t, c, 4, 0)
+	if g.HasDep(4, 0) {
+		t.Error("mutation of clone leaked into original")
+	}
+	if c.EdgeCount() != g.EdgeCount()+1 {
+		t.Errorf("clone EdgeCount = %d", c.EdgeCount())
+	}
+}
+
+// randomDAG builds a random acyclic graph by only adding edges from higher to
+// lower indexes, mirroring the paper's "only depend on earlier tasks" rule.
+func randomDAG(rng *rand.Rand, n, edges int) *Graph {
+	g := New(n)
+	for i := 0; i < edges; i++ {
+		u := 1 + rng.Intn(n-1)
+		v := rng.Intn(u)
+		_ = g.AddDep(u, v)
+	}
+	return g
+}
+
+func TestRandomDAGProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(40), rng.Intn(120))
+		if !g.IsAcyclic() {
+			t.Fatal("earlier-only DAG reported cyclic")
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make([]int, g.Len())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < g.Len(); u++ {
+			for _, v := range g.Deps(u) {
+				if pos[v] >= pos[u] {
+					t.Fatal("topo order violates dependency")
+				}
+			}
+		}
+		// Closure ancestors must match original ancestors.
+		c, err := g.TransitiveClosure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.Len(); u++ {
+			if !reflect.DeepEqual(sortedInts(c.Deps(u)), g.Ancestors(u)) {
+				t.Fatalf("closure deps of %d != ancestors", u)
+			}
+		}
+		// Reduction preserves reachability.
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.Len(); u++ {
+			if !reflect.DeepEqual(r.Ancestors(u), g.Ancestors(u)) {
+				t.Fatalf("reduction changed ancestors of %d", u)
+			}
+		}
+	}
+}
+
+func TestLevelsOnCycle(t *testing.T) {
+	g := New(2)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 0)
+	if _, err := g.Levels(); !errors.Is(err, ErrCycle) {
+		t.Errorf("Levels on cycle err = %v", err)
+	}
+	if _, err := g.TransitiveClosure(); !errors.Is(err, ErrCycle) {
+		t.Errorf("TransitiveClosure on cycle err = %v", err)
+	}
+	if _, err := g.TransitiveReduction(); !errors.Is(err, ErrCycle) {
+		t.Errorf("TransitiveReduction on cycle err = %v", err)
+	}
+}
+
+func TestSCCsAcyclic(t *testing.T) {
+	g := paperGraph(t)
+	comps := g.SCCs()
+	if len(comps) != 5 {
+		t.Fatalf("SCCs = %v, want 5 singletons", comps)
+	}
+	for i, c := range comps {
+		if len(c) != 1 || c[0] != i {
+			t.Fatalf("component %d = %v", i, c)
+		}
+	}
+	if got := g.CyclicComponents(); got != nil {
+		t.Errorf("CyclicComponents on DAG = %v", got)
+	}
+}
+
+func TestSCCsTwoCycles(t *testing.T) {
+	g := New(7)
+	// Cycle A: 0→1→2→0. Cycle B: 4↔5. Singles: 3, 6 (6 feeds into A).
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, g, 2, 0)
+	mustAdd(t, g, 4, 5)
+	mustAdd(t, g, 5, 4)
+	mustAdd(t, g, 6, 0)
+	cyc := g.CyclicComponents()
+	if len(cyc) != 2 {
+		t.Fatalf("CyclicComponents = %v, want 2", cyc)
+	}
+	if !reflect.DeepEqual(cyc[0], []int{0, 1, 2}) || !reflect.DeepEqual(cyc[1], []int{4, 5}) {
+		t.Errorf("components = %v", cyc)
+	}
+	// Total SCCs: {0,1,2}, {3}, {4,5}, {6}.
+	if got := len(g.SCCs()); got != 4 {
+		t.Errorf("SCC count = %d, want 4", got)
+	}
+}
+
+func TestSCCsMatchAcyclicityOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = g.AddDep(u, v)
+			}
+		}
+		hasCycle := len(g.CyclicComponents()) > 0
+		if hasCycle == g.IsAcyclic() {
+			t.Fatalf("trial %d: SCC cycle detection (%v) disagrees with topo sort (%v)",
+				trial, hasCycle, g.IsAcyclic())
+		}
+		// Components partition the vertex set.
+		seen := make([]bool, n)
+		total := 0
+		for _, c := range g.SCCs() {
+			for _, v := range c {
+				if seen[v] {
+					t.Fatal("vertex in two components")
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("components cover %d of %d vertices", total, n)
+		}
+	}
+}

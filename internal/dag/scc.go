@@ -1,0 +1,107 @@
+package dag
+
+// SCCs returns the strongly connected components of the dependency graph
+// (Tarjan's algorithm, iterative), each component sorted ascending and the
+// component list sorted by smallest member. Every component with more than
+// one vertex — or a self-loop — is a dependency cycle; Validate rejects
+// those, but SCCs lets tooling show a requester *all* offending groups at
+// once instead of FindCycle's single witness.
+func (g *Graph) SCCs() [][]int {
+	n := g.Len()
+	const undef = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = undef
+	}
+	var (
+		counter int
+		stack   []int
+		out     [][]int
+	)
+
+	type frame struct {
+		v    int
+		edge int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != undef {
+			continue
+		}
+		work := []frame{{v: start}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.edge < len(g.deps[v]) {
+				w := int(g.deps[v][f.edge])
+				f.edge++
+				if index[w] == undef {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop a component if v is a root.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortInts(comp)
+				out = append(out, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	// Sort components by smallest member for deterministic output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// CyclicComponents returns only the components that constitute dependency
+// cycles: size > 1, or a single vertex with a self-loop.
+func (g *Graph) CyclicComponents() [][]int {
+	var out [][]int
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			out = append(out, comp)
+			continue
+		}
+		v := comp[0]
+		if g.HasDep(v, v) {
+			out = append(out, comp)
+		}
+	}
+	return out
+}

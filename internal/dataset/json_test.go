@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dasc/internal/gen"
+	"dasc/internal/model"
+)
+
+func roundTrip(t *testing.T, in *model.Instance) *model.Instance {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTripExample1(t *testing.T) {
+	in := model.Example1()
+	out := roundTrip(t, in)
+	if out.SkillUniverse != in.SkillUniverse {
+		t.Errorf("universe %d != %d", out.SkillUniverse, in.SkillUniverse)
+	}
+	if len(out.Workers) != len(in.Workers) || len(out.Tasks) != len(in.Tasks) {
+		t.Fatal("population mismatch")
+	}
+	for i := range in.Workers {
+		a, b := &in.Workers[i], &out.Workers[i]
+		if a.Loc != b.Loc || a.Start != b.Start || a.Wait != b.Wait ||
+			a.Velocity != b.Velocity || a.MaxDist != b.MaxDist ||
+			!a.Skills.Equal(b.Skills) {
+			t.Errorf("worker %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range in.Tasks {
+		a, b := &in.Tasks[i], &out.Tasks[i]
+		if a.Loc != b.Loc || a.Requires != b.Requires || !reflect.DeepEqual(a.Deps, b.Deps) {
+			t.Errorf("task %d changed", i)
+		}
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	in, err := gen.Synthetic(gen.DefaultSynthetic().Scale(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := roundTrip(t, in)
+	if len(out.Tasks) != len(in.Tasks) {
+		t.Fatal("task count changed")
+	}
+	for i := range in.Tasks {
+		if !reflect.DeepEqual(in.Tasks[i].Deps, out.Tasks[i].Deps) {
+			t.Fatalf("deps of task %d changed", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	in := model.Example1()
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Workers) != 3 || len(out.Tasks) != 5 {
+		t.Errorf("loaded %d/%d", len(out.Workers), len(out.Tasks))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"version": 99, "skill_universe": 1, "workers": [], "tasks": []}`,
+		"unknown field": `{"version": 1, "skill_universe": 1, "workers": [], "tasks": [], "extra": 1}`,
+		"invalid instance (no skills)": `{"version": 1, "skill_universe": 1,
+		  "workers": [{"id":0,"x":0,"y":0,"start":0,"wait":1,"velocity":1,"max_dist":1,"skills":[]}],
+		  "tasks": []}`,
+		"cyclic deps": `{"version": 1, "skill_universe": 1, "workers": [],
+		  "tasks": [
+		    {"id":0,"x":0,"y":0,"start":0,"wait":1,"requires":0,"deps":[1]},
+		    {"id":1,"x":0,"y":0,"start":0,"wait":1,"requires":0,"deps":[0]}]}`,
+	}
+	for name, body := range cases {
+		if _, err := Read(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteAssignment(t *testing.T) {
+	a := model.NewAssignment()
+	a.Add(1, 2)
+	a.Add(0, 0)
+	a.Sort()
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"size": 2`) || !strings.Contains(s, `"worker": 1`) {
+		t.Errorf("assignment JSON = %s", s)
+	}
+}
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	if err := Save(filepath.Join(os.DevNull, "nope", "x.json"), model.Example1()); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

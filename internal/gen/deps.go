@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"math/rand"
+
+	"dasc/internal/model"
+)
+
+// growDeps implements the paper's dependency construction for one task:
+// draw a target size from sizeRange, then repeatedly pick a uniformly random
+// earlier task from candidates, adding it *and its whole dependency set*
+// (keeping the set transitively closed and acyclic) until the target size is
+// reached or the candidates are exhausted. tasks[:i] must already carry
+// closed dependency sets.
+func growDeps(rng *rand.Rand, tasks []model.Task, candidates []model.TaskID, sizeRange Range) []model.TaskID {
+	target := sizeRange.SampleInt(rng)
+	if target <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	in := make(map[model.TaskID]bool)
+	var deps []model.TaskID
+	add := func(id model.TaskID) {
+		if !in[id] {
+			in[id] = true
+			deps = append(deps, id)
+		}
+	}
+	// Copy so the shuffle does not disturb the caller's slice.
+	pool := append([]model.TaskID(nil), candidates...)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	for _, cand := range pool {
+		if len(deps) >= target {
+			break
+		}
+		add(cand)
+		for _, dd := range tasks[cand].Deps {
+			add(dd)
+		}
+	}
+	sortTaskIDs(deps)
+	return deps
+}
+
+func sortTaskIDs(a []model.TaskID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

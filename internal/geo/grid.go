@@ -1,0 +1,202 @@
+package geo
+
+import "math"
+
+// GridIndex is a uniform-cell spatial hash over a fixed bounding box. It
+// answers radius queries in time proportional to the number of cells the
+// query disc touches, which makes it the workhorse for "which tasks can this
+// worker reach" lookups where the radius is the worker's maximum moving
+// distance.
+//
+// Items are identified by small dense integer IDs chosen by the caller
+// (worker/task indexes), so the index stores no payloads.
+type GridIndex struct {
+	box        BBox
+	cellSize   float64
+	cols, rows int
+	cells      [][]int32 // cell -> item IDs
+	points     []Point   // id -> location (sparse IDs allowed; grown on demand)
+	present    []bool
+	count      int
+}
+
+// NewGridIndex creates an index over box with approximately targetCells cells
+// (minimum 1). A good default for n uniformly distributed points is
+// targetCells ≈ n.
+func NewGridIndex(box BBox, targetCells int) *GridIndex {
+	if targetCells < 1 {
+		targetCells = 1
+	}
+	w, h := box.Width(), box.Height()
+	if w <= 0 {
+		w = 1e-9
+	}
+	if h <= 0 {
+		h = 1e-9
+	}
+	// Choose a square-ish cell so cols*rows ≈ targetCells.
+	cell := math.Sqrt(w * h / float64(targetCells))
+	if cell <= 0 || math.IsNaN(cell) {
+		cell = math.Max(w, h)
+	}
+	cols := int(math.Ceil(w / cell))
+	rows := int(math.Ceil(h / cell))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &GridIndex{
+		box:      box,
+		cellSize: cell,
+		cols:     cols,
+		rows:     rows,
+		cells:    make([][]int32, cols*rows),
+	}
+}
+
+// Len returns the number of items currently in the index.
+func (g *GridIndex) Len() int { return g.count }
+
+// Bounds returns the box the index was built over.
+func (g *GridIndex) Bounds() BBox { return g.box }
+
+func (g *GridIndex) cellOf(p Point) int {
+	cx := int((p.X - g.box.Min.X) / g.cellSize)
+	cy := int((p.Y - g.box.Min.Y) / g.cellSize)
+	cx = clampInt(cx, 0, g.cols-1)
+	cy = clampInt(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Insert adds item id at location p. Points outside the index box are clamped
+// to the border cell, so they remain findable by sufficiently large radius
+// queries. Inserting an existing id is a no-op on membership but updates its
+// location only via Remove+Insert.
+func (g *GridIndex) Insert(id int, p Point) {
+	for id >= len(g.points) {
+		g.points = append(g.points, Point{})
+		g.present = append(g.present, false)
+	}
+	if g.present[id] {
+		return
+	}
+	g.points[id] = p
+	g.present[id] = true
+	c := g.cellOf(p)
+	g.cells[c] = append(g.cells[c], int32(id))
+	g.count++
+}
+
+// Remove deletes item id from the index. Removing an absent id is a no-op.
+func (g *GridIndex) Remove(id int) {
+	if id < 0 || id >= len(g.present) || !g.present[id] {
+		return
+	}
+	c := g.cellOf(g.points[id])
+	bucket := g.cells[c]
+	for i, v := range bucket {
+		if int(v) == id {
+			bucket[i] = bucket[len(bucket)-1]
+			g.cells[c] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	g.present[id] = false
+	g.count--
+}
+
+// Contains reports whether item id is in the index.
+func (g *GridIndex) Contains(id int) bool {
+	return id >= 0 && id < len(g.present) && g.present[id]
+}
+
+// Within appends to dst the IDs of all items at Euclidean distance ≤ r from
+// center and returns the extended slice. Order is unspecified.
+func (g *GridIndex) Within(center Point, r float64, dst []int) []int {
+	if r < 0 || g.count == 0 {
+		return dst
+	}
+	r2 := r * r
+	minCX := clampInt(int((center.X-r-g.box.Min.X)/g.cellSize), 0, g.cols-1)
+	maxCX := clampInt(int((center.X+r-g.box.Min.X)/g.cellSize), 0, g.cols-1)
+	minCY := clampInt(int((center.Y-r-g.box.Min.Y)/g.cellSize), 0, g.rows-1)
+	maxCY := clampInt(int((center.Y+r-g.box.Min.Y)/g.cellSize), 0, g.rows-1)
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, id := range g.cells[cy*g.cols+cx] {
+				if g.points[id].SqDistanceTo(center) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the id of the item closest to center and its distance.
+// ok is false when the index is empty. Ties break toward the lower id.
+func (g *GridIndex) Nearest(center Point) (id int, dist float64, ok bool) {
+	if g.count == 0 {
+		return 0, 0, false
+	}
+	// Expanding ring search: examine cells in growing square rings until a
+	// candidate is found whose distance is certified minimal.
+	best := -1
+	bestSq := math.Inf(1)
+	ccx := clampInt(int((center.X-g.box.Min.X)/g.cellSize), 0, g.cols-1)
+	ccy := clampInt(int((center.Y-g.box.Min.Y)/g.cellSize), 0, g.rows-1)
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once we have a candidate, stop when the ring is provably farther
+		// than it: every cell in ring k is at least (k-1)*cellSize away.
+		if best >= 0 {
+			minPossible := float64(ring-1) * g.cellSize
+			if minPossible > 0 && minPossible*minPossible > bestSq {
+				break
+			}
+		}
+		scan := func(cx, cy int) {
+			if cx < 0 || cx >= g.cols || cy < 0 || cy >= g.rows {
+				return
+			}
+			for _, raw := range g.cells[cy*g.cols+cx] {
+				i := int(raw)
+				d := g.points[i].SqDistanceTo(center)
+				if d < bestSq || (d == bestSq && i < best) {
+					bestSq, best = d, i
+				}
+			}
+		}
+		if ring == 0 {
+			scan(ccx, ccy)
+			continue
+		}
+		for cx := ccx - ring; cx <= ccx+ring; cx++ {
+			scan(cx, ccy-ring)
+			scan(cx, ccy+ring)
+		}
+		for cy := ccy - ring + 1; cy <= ccy+ring-1; cy++ {
+			scan(ccx-ring, cy)
+			scan(ccx+ring, cy)
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, math.Sqrt(bestSq), true
+}

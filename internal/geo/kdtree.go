@@ -1,0 +1,226 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// KDTree is an immutable 2-d tree built once over a point set. It supports
+// nearest-neighbour, k-nearest-neighbour and radius queries. Compared with
+// GridIndex it needs no bounding box up front and degrades gracefully on
+// clustered data; the allocation core uses it when worker radii vary by
+// orders of magnitude.
+type KDTree struct {
+	nodes []kdNode
+	root  int32
+}
+
+type kdNode struct {
+	pt          Point
+	id          int32
+	left, right int32 // -1 = none
+	axis        uint8 // 0 = X, 1 = Y
+}
+
+// KDItem pairs an item ID with its location for bulk tree construction.
+type KDItem struct {
+	ID int
+	Pt Point
+}
+
+// NewKDTree builds a balanced tree over items in O(n log² n).
+// The input slice is not modified.
+func NewKDTree(items []KDItem) *KDTree {
+	t := &KDTree{nodes: make([]kdNode, 0, len(items)), root: -1}
+	work := make([]KDItem, len(items))
+	copy(work, items)
+	t.root = t.build(work, 0)
+	return t
+}
+
+// Len returns the number of points in the tree.
+func (t *KDTree) Len() int { return len(t.nodes) }
+
+func (t *KDTree) build(items []KDItem, depth int) int32 {
+	if len(items) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	sort.Slice(items, func(i, j int) bool {
+		if axis == 0 {
+			return items[i].Pt.X < items[j].Pt.X
+		}
+		return items[i].Pt.Y < items[j].Pt.Y
+	})
+	mid := len(items) / 2
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{
+		pt:   items[mid].Pt,
+		id:   int32(items[mid].ID),
+		axis: axis,
+		left: -1, right: -1,
+	})
+	left := t.build(items[:mid], depth+1)
+	right := t.build(items[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Nearest returns the ID of the point closest to q and its distance.
+// ok is false for an empty tree.
+func (t *KDTree) Nearest(q Point) (id int, dist float64, ok bool) {
+	if t.root < 0 {
+		return 0, 0, false
+	}
+	bestID := int32(-1)
+	bestSq := math.Inf(1)
+	t.nearest(t.root, q, &bestID, &bestSq)
+	return int(bestID), math.Sqrt(bestSq), true
+}
+
+func (t *KDTree) nearest(ni int32, q Point, bestID *int32, bestSq *float64) {
+	if ni < 0 {
+		return
+	}
+	n := &t.nodes[ni]
+	d := n.pt.SqDistanceTo(q)
+	if d < *bestSq || (d == *bestSq && n.id < *bestID) {
+		*bestSq, *bestID = d, n.id
+	}
+	var qc, nc float64
+	if n.axis == 0 {
+		qc, nc = q.X, n.pt.X
+	} else {
+		qc, nc = q.Y, n.pt.Y
+	}
+	near, far := n.left, n.right
+	if qc > nc {
+		near, far = far, near
+	}
+	t.nearest(near, q, bestID, bestSq)
+	if diff := qc - nc; diff*diff <= *bestSq {
+		t.nearest(far, q, bestID, bestSq)
+	}
+}
+
+// Within appends the IDs of all points at distance ≤ r from q to dst and
+// returns the extended slice. Order is unspecified.
+func (t *KDTree) Within(q Point, r float64, dst []int) []int {
+	if t.root < 0 || r < 0 {
+		return dst
+	}
+	return t.within(t.root, q, r*r, dst)
+}
+
+func (t *KDTree) within(ni int32, q Point, r2 float64, dst []int) []int {
+	if ni < 0 {
+		return dst
+	}
+	n := &t.nodes[ni]
+	if n.pt.SqDistanceTo(q) <= r2 {
+		dst = append(dst, int(n.id))
+	}
+	var diff float64
+	if n.axis == 0 {
+		diff = q.X - n.pt.X
+	} else {
+		diff = q.Y - n.pt.Y
+	}
+	if diff <= 0 || diff*diff <= r2 {
+		dst = t.within(n.left, q, r2, dst)
+	}
+	if diff >= 0 || diff*diff <= r2 {
+		dst = t.within(n.right, q, r2, dst)
+	}
+	return dst
+}
+
+// KNearest returns up to k IDs ordered from closest to farthest.
+func (t *KDTree) KNearest(q Point, k int) []int {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	h := &kdHeap{}
+	t.kNearest(t.root, q, k, h)
+	out := make([]int, len(h.items))
+	// Heap pops farthest-first; fill from the back for near-to-far order.
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = int(h.pop().id)
+	}
+	return out
+}
+
+func (t *KDTree) kNearest(ni int32, q Point, k int, h *kdHeap) {
+	if ni < 0 {
+		return
+	}
+	n := &t.nodes[ni]
+	d := n.pt.SqDistanceTo(q)
+	if len(h.items) < k {
+		h.push(kdCand{id: n.id, sq: d})
+	} else if d < h.items[0].sq {
+		h.pop()
+		h.push(kdCand{id: n.id, sq: d})
+	}
+	var qc, nc float64
+	if n.axis == 0 {
+		qc, nc = q.X, n.pt.X
+	} else {
+		qc, nc = q.Y, n.pt.Y
+	}
+	near, far := n.left, n.right
+	if qc > nc {
+		near, far = far, near
+	}
+	t.kNearest(near, q, k, h)
+	diff := qc - nc
+	if len(h.items) < k || diff*diff <= h.items[0].sq {
+		t.kNearest(far, q, k, h)
+	}
+}
+
+// kdHeap is a max-heap on squared distance, holding the current k best.
+type kdCand struct {
+	id int32
+	sq float64
+}
+
+type kdHeap struct{ items []kdCand }
+
+func (h *kdHeap) push(c kdCand) {
+	h.items = append(h.items, c)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].sq >= h.items[i].sq {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *kdHeap) pop() kdCand {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.items[l].sq > h.items[big].sq {
+			big = l
+		}
+		if r < last && h.items[r].sq > h.items[big].sq {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+	return top
+}

@@ -1,0 +1,207 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// RTree is an immutable R-tree over points, bulk-loaded with the
+// Sort-Tile-Recursive (STR) packing algorithm. It answers rectangle and
+// radius queries; compared with GridIndex it needs no pre-declared bounding
+// box and stays balanced on heavily skewed data (the hotspot workloads),
+// and compared with KDTree its fat leaves make range scans cheaper.
+type RTree struct {
+	nodes  []rtreeNode
+	leaves []KDItem // all items, grouped by leaf
+	root   int32
+}
+
+const rtreeFanout = 16
+
+type rtreeNode struct {
+	box      BBox
+	children []int32 // internal: child node indexes
+	from, to int32   // leaf: leaves[from:to]
+	leaf     bool
+}
+
+// NewRTree bulk-loads a tree over items. The input slice is not modified.
+func NewRTree(items []KDItem) *RTree {
+	t := &RTree{}
+	if len(items) == 0 {
+		t.root = -1
+		return t
+	}
+	work := make([]KDItem, len(items))
+	copy(work, items)
+
+	// STR: sort by X, slice into vertical strips, sort each strip by Y,
+	// pack runs of rtreeFanout into leaves.
+	sort.Slice(work, func(i, j int) bool { return work[i].Pt.X < work[j].Pt.X })
+	leafCount := (len(work) + rtreeFanout - 1) / rtreeFanout
+	stripCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perStrip := stripCount * rtreeFanout
+	var leafIdx []int32
+	for s := 0; s < len(work); s += perStrip {
+		end := s + perStrip
+		if end > len(work) {
+			end = len(work)
+		}
+		strip := work[s:end]
+		sort.Slice(strip, func(i, j int) bool { return strip[i].Pt.Y < strip[j].Pt.Y })
+		for l := 0; l < len(strip); l += rtreeFanout {
+			le := l + rtreeFanout
+			if le > len(strip) {
+				le = len(strip)
+			}
+			from := int32(len(t.leaves))
+			t.leaves = append(t.leaves, strip[l:le]...)
+			to := int32(len(t.leaves))
+			box := boxOfItems(t.leaves[from:to])
+			leafIdx = append(leafIdx, int32(len(t.nodes)))
+			t.nodes = append(t.nodes, rtreeNode{box: box, from: from, to: to, leaf: true})
+		}
+	}
+	// Pack upward until a single root remains.
+	level := leafIdx
+	for len(level) > 1 {
+		var next []int32
+		for s := 0; s < len(level); s += rtreeFanout {
+			end := s + rtreeFanout
+			if end > len(level) {
+				end = len(level)
+			}
+			children := append([]int32(nil), level[s:end]...)
+			box := t.nodes[children[0]].box
+			for _, c := range children[1:] {
+				box = unionBox(box, t.nodes[c].box)
+			}
+			next = append(next, int32(len(t.nodes)))
+			t.nodes = append(t.nodes, rtreeNode{box: box, children: children})
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *RTree) Len() int { return len(t.leaves) }
+
+// Bounds returns the root bounding box (zero box when empty).
+func (t *RTree) Bounds() BBox {
+	if t.root < 0 {
+		return BBox{}
+	}
+	return t.nodes[t.root].box
+}
+
+// SearchRect appends the IDs of all points inside the box (inclusive) to dst.
+func (t *RTree) SearchRect(box BBox, dst []int) []int {
+	if t.root < 0 {
+		return dst
+	}
+	return t.searchRect(t.root, box, dst)
+}
+
+func (t *RTree) searchRect(ni int32, box BBox, dst []int) []int {
+	n := &t.nodes[ni]
+	if !n.box.Intersects(box) {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range t.leaves[n.from:n.to] {
+			if box.Contains(it.Pt) {
+				dst = append(dst, it.ID)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = t.searchRect(c, box, dst)
+	}
+	return dst
+}
+
+// Within appends the IDs of all points at Euclidean distance ≤ r from q.
+func (t *RTree) Within(q Point, r float64, dst []int) []int {
+	if t.root < 0 || r < 0 {
+		return dst
+	}
+	return t.within(t.root, q, r, r*r, dst)
+}
+
+func (t *RTree) within(ni int32, q Point, r, r2 float64, dst []int) []int {
+	n := &t.nodes[ni]
+	if n.box.SqDistanceTo(q) > r2 {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range t.leaves[n.from:n.to] {
+			if it.Pt.SqDistanceTo(q) <= r2 {
+				dst = append(dst, it.ID)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = t.within(c, q, r, r2, dst)
+	}
+	return dst
+}
+
+// Nearest returns the closest point's ID and distance; ok is false when the
+// tree is empty. Branch-and-bound on the node boxes.
+func (t *RTree) Nearest(q Point) (id int, dist float64, ok bool) {
+	if t.root < 0 {
+		return 0, 0, false
+	}
+	bestID := -1
+	bestSq := math.Inf(1)
+	t.nearest(t.root, q, &bestID, &bestSq)
+	return bestID, math.Sqrt(bestSq), true
+}
+
+func (t *RTree) nearest(ni int32, q Point, bestID *int, bestSq *float64) {
+	n := &t.nodes[ni]
+	if n.box.SqDistanceTo(q) > *bestSq {
+		return
+	}
+	if n.leaf {
+		for _, it := range t.leaves[n.from:n.to] {
+			d := it.Pt.SqDistanceTo(q)
+			if d < *bestSq || (d == *bestSq && it.ID < *bestID) {
+				*bestSq, *bestID = d, it.ID
+			}
+		}
+		return
+	}
+	// Visit children closest-first so the bound tightens quickly.
+	type cand struct {
+		c  int32
+		sq float64
+	}
+	cands := make([]cand, len(n.children))
+	for i, c := range n.children {
+		cands[i] = cand{c, t.nodes[c].box.SqDistanceTo(q)}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].sq < cands[j].sq })
+	for _, c := range cands {
+		t.nearest(c.c, q, bestID, bestSq)
+	}
+}
+
+func boxOfItems(items []KDItem) BBox {
+	box := BBox{Min: items[0].Pt, Max: items[0].Pt}
+	for _, it := range items[1:] {
+		box = unionBox(box, BBox{Min: it.Pt, Max: it.Pt})
+	}
+	return box
+}
+
+func unionBox(a, b BBox) BBox {
+	return BBox{
+		Min: Point{math.Min(a.Min.X, b.Min.X), math.Min(a.Min.Y, b.Min.Y)},
+		Max: Point{math.Max(a.Max.X, b.Max.X), math.Max(a.Max.Y, b.Max.Y)},
+	}
+}

@@ -1,0 +1,122 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func rtreeItems(rng *rand.Rand, n int, box BBox) []KDItem {
+	pts := randPoints(rng, n, box)
+	items := make([]KDItem, n)
+	for i, p := range pts {
+		items[i] = KDItem{ID: i, Pt: p}
+	}
+	return items
+}
+
+func TestRTreeWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for _, n := range []int{1, 7, 16, 17, 100, 513} {
+		items := rtreeItems(rng, n, NewBBox(Pt(0, 0), Pt(1, 1)))
+		tree := NewRTree(items)
+		if tree.Len() != n {
+			t.Fatalf("Len = %d, want %d", tree.Len(), n)
+		}
+		pts := make([]Point, n)
+		for _, it := range items {
+			pts[it.ID] = it.Pt
+		}
+		for trial := 0; trial < 30; trial++ {
+			q := Point{rng.Float64() * 1.2, rng.Float64() * 1.2}
+			r := rng.Float64() * 0.4
+			got := tree.Within(q, r, nil)
+			want := bruteWithin(pts, nil, q, r)
+			if !equalIntSets(got, want) {
+				t.Fatalf("n=%d trial %d: Within = %v, want %v", n, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRTreeSearchRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	items := rtreeItems(rng, 300, NewBBox(Pt(0, 0), Pt(1, 1)))
+	tree := NewRTree(items)
+	for trial := 0; trial < 30; trial++ {
+		box := NewBBox(
+			Pt(rng.Float64(), rng.Float64()),
+			Pt(rng.Float64(), rng.Float64()),
+		)
+		got := tree.SearchRect(box, nil)
+		var want []int
+		for _, it := range items {
+			if box.Contains(it.Pt) {
+				want = append(want, it.ID)
+			}
+		}
+		if !equalIntSets(got, want) {
+			t.Fatalf("trial %d: SearchRect = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestRTreeNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	items := rtreeItems(rng, 257, NewBBox(Pt(-1, -1), Pt(1, 1)))
+	tree := NewRTree(items)
+	for trial := 0; trial < 100; trial++ {
+		q := Point{rng.Float64()*3 - 1.5, rng.Float64()*3 - 1.5}
+		_, d, ok := tree.Nearest(q)
+		if !ok {
+			t.Fatal("Nearest !ok")
+		}
+		bestD := -1.0
+		for _, it := range items {
+			if dd := it.Pt.DistanceTo(q); bestD < 0 || dd < bestD {
+				bestD = dd
+			}
+		}
+		if !almostEq(d, bestD) {
+			t.Fatalf("trial %d: rtree %v, brute %v", trial, d, bestD)
+		}
+	}
+}
+
+func TestRTreeClusteredData(t *testing.T) {
+	// Heavily skewed points must still query correctly (the R-tree's reason
+	// to exist next to the grid index).
+	rng := rand.New(rand.NewSource(133))
+	var items []KDItem
+	for i := 0; i < 200; i++ {
+		items = append(items, KDItem{ID: i, Pt: Pt(rng.NormFloat64()*0.001, rng.NormFloat64()*0.001)})
+	}
+	for i := 200; i < 210; i++ {
+		items = append(items, KDItem{ID: i, Pt: Pt(100+rng.Float64(), 100+rng.Float64())})
+	}
+	tree := NewRTree(items)
+	got := tree.Within(Pt(0, 0), 0.1, nil)
+	if len(got) != 200 {
+		t.Errorf("cluster query found %d of 200", len(got))
+	}
+	far := tree.Within(Pt(100.5, 100.5), 2, nil)
+	if len(far) != 10 {
+		t.Errorf("outlier query found %d of 10", len(far))
+	}
+}
+
+func TestRTreeEmptyAndBounds(t *testing.T) {
+	empty := NewRTree(nil)
+	if _, _, ok := empty.Nearest(Pt(0, 0)); ok {
+		t.Error("empty Nearest should be !ok")
+	}
+	if got := empty.Within(Pt(0, 0), 5, nil); len(got) != 0 {
+		t.Error("empty Within should be empty")
+	}
+	if got := empty.SearchRect(NewBBox(Pt(0, 0), Pt(1, 1)), nil); len(got) != 0 {
+		t.Error("empty SearchRect should be empty")
+	}
+	one := NewRTree([]KDItem{{ID: 9, Pt: Pt(2, 3)}})
+	if b := one.Bounds(); b.Min != Pt(2, 3) || b.Max != Pt(2, 3) {
+		t.Errorf("Bounds = %v", b)
+	}
+}

@@ -1,0 +1,137 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAuctionKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Auction(cost, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-5) > 1e-3 {
+		t.Errorf("total = %v, want 5 (assign=%v)", total, assign)
+	}
+}
+
+func TestAuctionMatchesHungarianOnIntegerCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		m := n + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		_, wantTotal, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Integer costs with ε < 1/m (m = padded square size) guarantee
+		// exact optimality.
+		assign, total, err := Auction(cost, 0.9/float64(m+1))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(total-wantTotal) > 1e-9 {
+			t.Fatalf("trial %d: auction %v, hungarian %v", trial, total, wantTotal)
+		}
+		// Injection over real edges.
+		seen := map[int]bool{}
+		for i, j := range assign {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("trial %d: invalid assignment %v", trial, assign)
+			}
+			seen[j] = true
+			if cost[i][j] >= Forbidden/2 {
+				t.Fatalf("trial %d: forbidden edge used", trial)
+			}
+		}
+	}
+}
+
+func TestAuctionEpsilonOptimalOnFloatCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		_, wantTotal, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 0.01
+		_, total, err := Auction(cost, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total < wantTotal-1e-9 {
+			t.Fatalf("trial %d: auction beat the optimum?! %v < %v", trial, total, wantTotal)
+		}
+		// The ε-bound is m·ε for the internally padded square problem.
+		if total > wantTotal+float64(m)*eps+1e-9 {
+			t.Fatalf("trial %d: auction %v exceeds ε-bound over %v", trial, total, wantTotal)
+		}
+	}
+}
+
+func TestAuctionForbiddenAndInfeasible(t *testing.T) {
+	// Feasible with forbidden entries.
+	cost := [][]float64{
+		{Forbidden, 1},
+		{2, Forbidden},
+	}
+	assign, total, err := Auction(cost, 0.1)
+	if err != nil || math.Abs(total-3) > 1e-6 {
+		t.Errorf("assign=%v total=%v err=%v", assign, total, err)
+	}
+	// Row with no usable column.
+	bad := [][]float64{
+		{Forbidden, Forbidden},
+		{1, 2},
+	}
+	if _, _, err := Auction(bad, 0.1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	// Two rows forced onto one usable column.
+	squeeze := [][]float64{
+		{1, Forbidden},
+		{2, Forbidden},
+	}
+	if _, _, err := Auction(squeeze, 0.1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("squeeze err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestAuctionShapesAndDefaults(t *testing.T) {
+	if _, _, err := Auction([][]float64{{1}, {2}}, 0.1); err == nil {
+		t.Error("rows > cols accepted")
+	}
+	if _, _, err := Auction([][]float64{{1, 2}, {3}}, 0.1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if assign, total, err := Auction(nil, 0.1); err != nil || assign != nil || total != 0 {
+		t.Error("empty matrix should trivially succeed")
+	}
+	// epsilon <= 0 picks a sane default.
+	if _, _, err := Auction([][]float64{{0, 0}, {0, 0}}, 0); err != nil {
+		t.Errorf("default epsilon failed: %v", err)
+	}
+}

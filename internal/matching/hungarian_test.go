@@ -1,0 +1,155 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteAssignment finds the optimal assignment cost by trying every injection
+// of rows into columns. Exponential; for tests only.
+func bruteAssignment(cost [][]float64) (float64, bool) {
+	n := len(cost)
+	if n == 0 {
+		return 0, true
+	}
+	m := len(cost[0])
+	usedC := make([]bool, m)
+	best := math.Inf(1)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			return
+		}
+		for j := 0; j < m; j++ {
+			if usedC[j] || cost[i][j] >= Forbidden/2 {
+				continue
+			}
+			usedC[j] = true
+			rec(i+1, acc+cost[i][j])
+			usedC[j] = false
+		}
+	}
+	rec(0, 0)
+	return best, !math.IsInf(best, 1)
+}
+
+func TestHungarianKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %v, want 5 (assign=%v)", total, assign)
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	// 2 rows, 4 columns: pick the two cheapest compatible columns.
+	cost := [][]float64{
+		{10, 1, 8, 7},
+		{10, 1, 2, 7},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 { // row0→col1 (1), row1→col2 (2)
+		t.Errorf("total = %v (assign=%v)", total, assign)
+	}
+	if assign[0] == assign[1] {
+		t.Error("duplicate column assignment")
+	}
+}
+
+func TestHungarianInfeasible(t *testing.T) {
+	cost := [][]float64{
+		{Forbidden, Forbidden},
+		{1, Forbidden},
+	}
+	if _, _, err := Hungarian(cost); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	// Two rows forced onto a single usable column.
+	cost2 := [][]float64{
+		{1, Forbidden},
+		{2, Forbidden},
+	}
+	if _, _, err := Hungarian(cost2); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestHungarianShapeErrors(t *testing.T) {
+	if _, _, err := Hungarian([][]float64{{1}, {2}, {3}}); err == nil {
+		t.Error("rows > cols accepted") // 3 rows × 1 col
+	}
+	if _, _, err := Hungarian([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if assign, total, err := Hungarian(nil); err != nil || assign != nil || total != 0 {
+		t.Error("empty matrix should trivially succeed")
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				if rng.Float64() < 0.15 {
+					cost[i][j] = Forbidden
+				} else {
+					cost[i][j] = math.Floor(rng.Float64()*100) / 10
+				}
+			}
+		}
+		want, feasible := bruteAssignment(cost)
+		assign, total, err := Hungarian(cost)
+		if !feasible {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: want ErrInfeasible, got %v (total=%v)", trial, err, total)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: unexpected err %v (brute=%v)", trial, err, want)
+		}
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: total %v, brute %v (assign=%v)", trial, total, want, assign)
+		}
+		// Assignment must be an injection using real edges.
+		seen := make(map[int]bool)
+		for i, j := range assign {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("trial %d: invalid assignment %v", trial, assign)
+			}
+			seen[j] = true
+			if cost[i][j] >= Forbidden/2 {
+				t.Fatalf("trial %d: forbidden edge used", trial)
+			}
+		}
+	}
+}
+
+func TestHungarianZeroCosts(t *testing.T) {
+	cost := [][]float64{{0, 0}, {0, 0}}
+	_, total, err := Hungarian(cost)
+	if err != nil || total != 0 {
+		t.Errorf("zero matrix: total=%v err=%v", total, err)
+	}
+}

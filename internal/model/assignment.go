@@ -1,0 +1,233 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"dasc/internal/geo"
+)
+
+// Pair is one matched worker-and-task pair (w, t) of an assignment M.
+type Pair struct {
+	Worker WorkerID
+	Task   TaskID
+}
+
+// Assignment is the result M of one batch: a set of worker-and-task pairs.
+// Pairs are kept sorted by task ID for deterministic output.
+type Assignment struct {
+	Pairs []Pair
+}
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() *Assignment { return &Assignment{} }
+
+// Add appends a pair. Callers are responsible for exclusivity; Validate
+// catches violations.
+func (a *Assignment) Add(w WorkerID, t TaskID) {
+	a.Pairs = append(a.Pairs, Pair{Worker: w, Task: t})
+}
+
+// Size returns Sum(M) = |M|, the paper's objective value.
+func (a *Assignment) Size() int { return len(a.Pairs) }
+
+// WeightSum returns the weighted objective Σ w_t over assigned tasks, which
+// equals Size() when all task weights are 1 (the paper's setting). Unknown
+// task IDs contribute zero.
+func (a *Assignment) WeightSum(in *Instance) float64 {
+	var sum float64
+	for _, p := range a.Pairs {
+		if t := in.Task(p.Task); t != nil {
+			sum += t.EffWeight()
+		}
+	}
+	return sum
+}
+
+// TaskSet returns the set of assigned task IDs.
+func (a *Assignment) TaskSet() map[TaskID]bool {
+	out := make(map[TaskID]bool, len(a.Pairs))
+	for _, p := range a.Pairs {
+		out[p.Task] = true
+	}
+	return out
+}
+
+// WorkerOf returns the worker assigned to task t, or -1.
+func (a *Assignment) WorkerOf(t TaskID) WorkerID {
+	for _, p := range a.Pairs {
+		if p.Task == t {
+			return p.Worker
+		}
+	}
+	return -1
+}
+
+// TaskOf returns the task assigned to worker w, or -1.
+func (a *Assignment) TaskOf(w WorkerID) TaskID {
+	for _, p := range a.Pairs {
+		if p.Worker == w {
+			return p.Task
+		}
+	}
+	return -1
+}
+
+// Sort orders pairs by task ID (then worker ID) for stable output.
+func (a *Assignment) Sort() {
+	sort.Slice(a.Pairs, func(i, j int) bool {
+		if a.Pairs[i].Task != a.Pairs[j].Task {
+			return a.Pairs[i].Task < a.Pairs[j].Task
+		}
+		return a.Pairs[i].Worker < a.Pairs[j].Worker
+	})
+}
+
+// String implements fmt.Stringer.
+func (a *Assignment) String() string {
+	s := "M{"
+	for i, p := range a.Pairs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("(w%d,t%d)", p.Worker, p.Task)
+	}
+	return s + "}"
+}
+
+// ValidationOptions configures Assignment validation.
+type ValidationOptions struct {
+	// Satisfied marks task IDs whose dependency obligation is already met
+	// outside this assignment (tasks assigned or completed in earlier
+	// batches). May be nil.
+	Satisfied map[TaskID]bool
+	// Dist overrides the instance's distance function when non-nil.
+	Dist geo.DistanceFunc
+}
+
+// Validate checks an assignment against all four constraints of
+// Definition 3 and returns the first violation found, or nil.
+func (a *Assignment) Validate(in *Instance, opt ValidationOptions) error {
+	dist := opt.Dist
+	if dist == nil {
+		dist = in.Distance()
+	}
+	workerUsed := make(map[WorkerID]bool, len(a.Pairs))
+	taskUsed := make(map[TaskID]bool, len(a.Pairs))
+	for _, p := range a.Pairs {
+		w, t := in.Worker(p.Worker), in.Task(p.Task)
+		if w == nil {
+			return fmt.Errorf("model: assignment references unknown worker w%d", p.Worker)
+		}
+		if t == nil {
+			return fmt.Errorf("model: assignment references unknown task t%d", p.Task)
+		}
+		// Exclusive constraint.
+		if workerUsed[p.Worker] {
+			return fmt.Errorf("model: worker w%d assigned twice", p.Worker)
+		}
+		if taskUsed[p.Task] {
+			return fmt.Errorf("model: task t%d assigned twice", p.Task)
+		}
+		workerUsed[p.Worker] = true
+		taskUsed[p.Task] = true
+		// Skill constraint.
+		if !w.Skills.Has(t.Requires) {
+			return fmt.Errorf("model: worker w%d lacks skill ψ%d for task t%d", w.ID, t.Requires, t.ID)
+		}
+		// Deadline + distance constraints.
+		if !Feasible(w, t, dist) {
+			return fmt.Errorf("model: pair (w%d,t%d) violates deadline or distance constraint", w.ID, t.ID)
+		}
+	}
+	// Dependency constraint: every dependency of an assigned task must be
+	// assigned in this batch or already satisfied.
+	assigned := a.TaskSet()
+	for _, p := range a.Pairs {
+		t := in.Task(p.Task)
+		for _, d := range t.Deps {
+			if !assigned[d] && !opt.Satisfied[d] {
+				return fmt.Errorf("model: task t%d assigned but dependency t%d is not", t.ID, d)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidCount returns the number of pairs whose task has all dependencies
+// satisfied (assigned in this batch or pre-satisfied) — the paper's score
+// when an allocator (such as the Closest/Random baselines) produces pairs
+// without honouring dependencies. Pairs must individually satisfy the
+// skill/deadline/distance constraints; invalid pairs also count zero.
+func (a *Assignment) ValidCount(in *Instance, opt ValidationOptions) int {
+	dist := opt.Dist
+	if dist == nil {
+		dist = in.Distance()
+	}
+	assigned := a.TaskSet()
+	count := 0
+	for _, p := range a.Pairs {
+		w, t := in.Worker(p.Worker), in.Task(p.Task)
+		if w == nil || t == nil || !Feasible(w, t, dist) {
+			continue
+		}
+		ok := true
+		for _, d := range t.Deps {
+			if !assigned[d] && !opt.Satisfied[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// FilterValid returns a new assignment keeping only pairs counted by
+// ValidCount, i.e. the enforceable subset of a dependency-oblivious result.
+// Filtering uses the dependency information of the *original* pair set, as
+// in the paper's evaluation of the baselines: a pair is kept when its
+// dependencies were assigned, even if those assignments are themselves
+// invalid. Call iteratively via FilterValidStrict for a fixpoint.
+func (a *Assignment) FilterValid(in *Instance, opt ValidationOptions) *Assignment {
+	dist := opt.Dist
+	if dist == nil {
+		dist = in.Distance()
+	}
+	assigned := a.TaskSet()
+	out := NewAssignment()
+	for _, p := range a.Pairs {
+		w, t := in.Worker(p.Worker), in.Task(p.Task)
+		if w == nil || t == nil || !Feasible(w, t, dist) {
+			continue
+		}
+		ok := true
+		for _, d := range t.Deps {
+			if !assigned[d] && !opt.Satisfied[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Add(p.Worker, p.Task)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// FilterValidStrict repeatedly removes pairs whose dependencies are not
+// themselves *kept*, until a fixpoint: the result always passes Validate.
+func (a *Assignment) FilterValidStrict(in *Instance, opt ValidationOptions) *Assignment {
+	cur := a
+	for {
+		next := cur.FilterValid(in, opt)
+		if next.Size() == cur.Size() {
+			next.Sort()
+			return next
+		}
+		cur = next
+	}
+}

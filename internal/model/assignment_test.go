@@ -1,0 +1,210 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperOptimal is the dependency-aware allocation of Figure 1(c):
+// w1→t1, w3→t2 … actually the paper assigns each worker one task so that all
+// dependencies of assigned tasks are satisfied: (w1,t1), (w3,t2), (w2,t4).
+func paperOptimal() *Assignment {
+	a := NewAssignment()
+	a.Add(0, 0) // w1 → t1
+	a.Add(2, 1) // w3 → t2
+	a.Add(1, 3) // w2 → t4
+	return a
+}
+
+// paperNaive is the dependency-oblivious nearest assignment of Figure 1(b):
+// (w1,t2), (w2,t4), (w3,t3). Only t4 is valid.
+func paperNaive() *Assignment {
+	a := NewAssignment()
+	a.Add(0, 1) // w1 → t2 (invalid: t1 unassigned)
+	a.Add(1, 3) // w2 → t4
+	a.Add(2, 2) // w3 → t3 (invalid: t1, t2 unassigned)
+	return a
+}
+
+func TestExample1OptimalValidates(t *testing.T) {
+	in := Example1()
+	a := paperOptimal()
+	if err := a.Validate(in, ValidationOptions{}); err != nil {
+		t.Fatalf("paper optimal rejected: %v", err)
+	}
+	if a.Size() != 3 {
+		t.Errorf("Size = %d", a.Size())
+	}
+}
+
+func TestExample1NaiveScoresOne(t *testing.T) {
+	in := Example1()
+	a := paperNaive()
+	if err := a.Validate(in, ValidationOptions{}); err == nil {
+		t.Fatal("naive assignment should violate dependency constraint")
+	}
+	if got := a.ValidCount(in, ValidationOptions{}); got != 1 {
+		t.Errorf("ValidCount = %d, want 1 (only t4)", got)
+	}
+	kept := a.FilterValidStrict(in, ValidationOptions{})
+	if kept.Size() != 1 || kept.Pairs[0].Task != 3 {
+		t.Errorf("FilterValidStrict = %v", kept)
+	}
+	if err := kept.Validate(in, ValidationOptions{}); err != nil {
+		t.Errorf("filtered assignment invalid: %v", err)
+	}
+}
+
+func TestValidateExclusivity(t *testing.T) {
+	in := Example1()
+	a := NewAssignment()
+	a.Add(0, 0)
+	a.Add(0, 3) // same worker twice
+	if err := a.Validate(in, ValidationOptions{}); err == nil || !strings.Contains(err.Error(), "worker w0 assigned twice") {
+		t.Errorf("err = %v", err)
+	}
+	b := NewAssignment()
+	b.Add(0, 0)
+	b.Add(2, 0) // same task twice
+	if err := b.Validate(in, ValidationOptions{}); err == nil || !strings.Contains(err.Error(), "task t0 assigned twice") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateSkill(t *testing.T) {
+	in := Example1()
+	a := NewAssignment()
+	a.Add(1, 0) // w2 {ψ4} on t1 (ψ1)
+	if err := a.Validate(in, ValidationOptions{}); err == nil || !strings.Contains(err.Error(), "lacks skill") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateUnknownIDs(t *testing.T) {
+	in := Example1()
+	a := NewAssignment()
+	a.Add(99, 0)
+	if err := a.Validate(in, ValidationOptions{}); err == nil || !strings.Contains(err.Error(), "unknown worker") {
+		t.Errorf("err = %v", err)
+	}
+	b := NewAssignment()
+	b.Add(0, 99)
+	if err := b.Validate(in, ValidationOptions{}); err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSatisfiedDependencies(t *testing.T) {
+	in := Example1()
+	// Assign only t2; its dependency t1 was completed in an earlier batch.
+	a := NewAssignment()
+	a.Add(2, 1) // w3 → t2
+	if err := a.Validate(in, ValidationOptions{}); err == nil {
+		t.Fatal("unsatisfied dependency accepted")
+	}
+	opt := ValidationOptions{Satisfied: map[TaskID]bool{0: true}}
+	if err := a.Validate(in, opt); err != nil {
+		t.Errorf("pre-satisfied dependency rejected: %v", err)
+	}
+	if got := a.ValidCount(in, opt); got != 1 {
+		t.Errorf("ValidCount = %d", got)
+	}
+}
+
+func TestFilterValidStrictCascade(t *testing.T) {
+	in := Example1()
+	// t2 assigned, t1 assigned but with an infeasible pairing (w2 lacks ψ1):
+	// the t1 pair is dropped first, which must cascade into dropping t2.
+	a := NewAssignment()
+	a.Add(1, 0) // invalid: w2 lacks ψ1
+	a.Add(0, 1) // w1 → t2, deps on t1
+	kept := a.FilterValidStrict(in, ValidationOptions{})
+	if kept.Size() != 0 {
+		t.Errorf("cascade filter kept %v", kept)
+	}
+}
+
+func TestAssignmentAccessors(t *testing.T) {
+	a := paperOptimal()
+	a.Sort()
+	if got := a.WorkerOf(1); got != 2 {
+		t.Errorf("WorkerOf(t2) = %d", got)
+	}
+	if got := a.WorkerOf(4); got != -1 {
+		t.Errorf("WorkerOf(unassigned) = %d", got)
+	}
+	if got := a.TaskOf(1); got != 3 {
+		t.Errorf("TaskOf(w2) = %d", got)
+	}
+	if got := a.TaskOf(9); got != -1 {
+		t.Errorf("TaskOf(unknown) = %d", got)
+	}
+	ts := a.TaskSet()
+	if len(ts) != 3 || !ts[0] || !ts[1] || !ts[3] {
+		t.Errorf("TaskSet = %v", ts)
+	}
+	if s := a.String(); !strings.Contains(s, "(w0,t0)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAssignmentSortDeterminism(t *testing.T) {
+	a := NewAssignment()
+	a.Add(2, 4)
+	a.Add(0, 1)
+	a.Add(1, 3)
+	a.Sort()
+	want := []Pair{{0, 1}, {1, 3}, {2, 4}}
+	for i, p := range a.Pairs {
+		if p != want[i] {
+			t.Fatalf("Sort order = %v", a.Pairs)
+		}
+	}
+}
+
+// TestFilterValidSubsetProperty: for arbitrary pair sets over Example1, the
+// strict filter result is a subset of the input, idempotent, and every kept
+// task's dependencies are kept.
+func TestFilterValidSubsetProperty(t *testing.T) {
+	in := Example1()
+	f := func(rawWorkers, rawTasks []uint8) bool {
+		a := NewAssignment()
+		n := len(rawWorkers)
+		if len(rawTasks) < n {
+			n = len(rawTasks)
+		}
+		for i := 0; i < n && i < 6; i++ {
+			a.Add(WorkerID(rawWorkers[i]%3), TaskID(rawTasks[i]%5))
+		}
+		kept := a.FilterValidStrict(in, ValidationOptions{})
+		// Subset check.
+		inInput := map[Pair]bool{}
+		for _, p := range a.Pairs {
+			inInput[p] = true
+		}
+		for _, p := range kept.Pairs {
+			if !inInput[p] {
+				return false
+			}
+		}
+		// Idempotence.
+		again := kept.FilterValidStrict(in, ValidationOptions{})
+		if again.Size() != kept.Size() {
+			return false
+		}
+		// Dependency closure within the kept set.
+		keptTasks := kept.TaskSet()
+		for _, p := range kept.Pairs {
+			for _, d := range in.Task(p.Task).Deps {
+				if !keptTasks[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"sort"
+
+	"dasc/internal/geo"
+)
+
+// CandidateIndex accelerates the two hot lookups of every allocator:
+// "which tasks can this worker take" (the strategy set S_w of the game) and
+// "which workers can staff this task" (the columns of the greedy Hungarian
+// call). It combines a per-skill inverted list with a spatial grid so that a
+// lookup touches only tasks of matching skill inside the reachable disc.
+type CandidateIndex struct {
+	in   *Instance
+	dist geo.DistanceFunc
+
+	tasksBySkill   map[Skill][]TaskID
+	workersBySkill map[Skill][]WorkerID
+	taskGrid       *geo.GridIndex
+}
+
+// NewCandidateIndex builds the index for an instance. The instance must not
+// be mutated while the index is in use.
+func NewCandidateIndex(in *Instance) *CandidateIndex {
+	ci := &CandidateIndex{
+		in:             in,
+		dist:           in.Distance(),
+		tasksBySkill:   make(map[Skill][]TaskID),
+		workersBySkill: make(map[Skill][]WorkerID),
+	}
+	box := boundingBoxOf(in)
+	ci.taskGrid = geo.NewGridIndex(box, len(in.Tasks)+1)
+	for i := range in.Tasks {
+		t := &in.Tasks[i]
+		ci.tasksBySkill[t.Requires] = append(ci.tasksBySkill[t.Requires], t.ID)
+		ci.taskGrid.Insert(int(t.ID), t.Loc)
+	}
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		for _, sk := range w.Skills.Skills() {
+			ci.workersBySkill[sk] = append(ci.workersBySkill[sk], w.ID)
+		}
+	}
+	return ci
+}
+
+// boundingBoxOf returns a box covering every location in the instance.
+func boundingBoxOf(in *Instance) geo.BBox {
+	if len(in.Workers) == 0 && len(in.Tasks) == 0 {
+		return geo.NewBBox(geo.Pt(0, 0), geo.Pt(1, 1))
+	}
+	var box geo.BBox
+	first := true
+	extend := func(p geo.Point) {
+		if first {
+			box = geo.BBox{Min: p, Max: p}
+			first = false
+			return
+		}
+		if p.X < box.Min.X {
+			box.Min.X = p.X
+		}
+		if p.Y < box.Min.Y {
+			box.Min.Y = p.Y
+		}
+		if p.X > box.Max.X {
+			box.Max.X = p.X
+		}
+		if p.Y > box.Max.Y {
+			box.Max.Y = p.Y
+		}
+	}
+	for i := range in.Workers {
+		extend(in.Workers[i].Loc)
+	}
+	for i := range in.Tasks {
+		extend(in.Tasks[i].Loc)
+	}
+	return box
+}
+
+// TasksFor returns, in ascending task-ID order, every task the worker can
+// feasibly take (skill + deadline + distance). The result is freshly
+// allocated.
+//
+// When the distance metric is Euclidean the grid prunes by the worker's
+// maximum moving distance; for other metrics it falls back to the per-skill
+// lists (still far smaller than a full scan).
+func (ci *CandidateIndex) TasksFor(w *Worker) []TaskID {
+	var out []TaskID
+	for _, sk := range w.Skills.Skills() {
+		for _, tid := range ci.tasksBySkill[sk] {
+			t := ci.in.Task(tid)
+			if Feasible(w, t, ci.dist) {
+				out = append(out, tid)
+			}
+		}
+	}
+	sortTaskIDs(out)
+	return out
+}
+
+// TasksNear returns task IDs within radius r of p using the spatial grid,
+// regardless of skill. Useful for density diagnostics and the Closest
+// baseline.
+func (ci *CandidateIndex) TasksNear(p geo.Point, r float64) []TaskID {
+	ids := ci.taskGrid.Within(p, r, nil)
+	out := make([]TaskID, len(ids))
+	for i, id := range ids {
+		out[i] = TaskID(id)
+	}
+	sortTaskIDs(out)
+	return out
+}
+
+// WorkersFor returns, in ascending worker-ID order, every worker that can
+// feasibly take the task.
+func (ci *CandidateIndex) WorkersFor(t *Task) []WorkerID {
+	var out []WorkerID
+	for _, wid := range ci.workersBySkill[t.Requires] {
+		w := ci.in.Worker(wid)
+		if Feasible(w, t, ci.dist) {
+			out = append(out, wid)
+		}
+	}
+	return out
+}
+
+func sortTaskIDs(a []TaskID) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"dasc/internal/geo"
+)
+
+// SubsetByRegion extracts the sub-instance inside the box: the workers
+// located in it and the tasks located in it whose transitive dependencies
+// also fall inside (a task whose dependency lies outside cannot be allocated
+// within the partition, so it is dropped). IDs are re-densified; the mapping
+// back to the original IDs is returned alongside.
+//
+// Geographic sharding is how a production platform would split a planet-
+// scale deployment into independently-allocated cells; the dependency-closed
+// cut keeps each shard self-consistent.
+func (in *Instance) SubsetByRegion(box geo.BBox) (*Instance, *IDMaps) {
+	keepTask := make([]bool, len(in.Tasks))
+	// A task survives iff it and all its (closed) dependencies are inside.
+	for i := range in.Tasks {
+		t := &in.Tasks[i]
+		if !box.Contains(t.Loc) {
+			continue
+		}
+		ok := true
+		for _, d := range t.Deps {
+			if dep := in.Task(d); dep == nil || !box.Contains(dep.Loc) {
+				ok = false
+				break
+			}
+		}
+		keepTask[i] = ok
+	}
+	// Iterate: a kept task whose dependency was dropped (dep inside the box
+	// but itself dependency-broken) must also drop.
+	for changed := true; changed; {
+		changed = false
+		for i := range in.Tasks {
+			if !keepTask[i] {
+				continue
+			}
+			for _, d := range in.Tasks[i].Deps {
+				if !keepTask[d] {
+					keepTask[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	out := &Instance{SkillUniverse: in.SkillUniverse, Dist: in.Dist}
+	maps := &IDMaps{
+		WorkerToOld: nil,
+		TaskToOld:   nil,
+		taskNew:     make(map[TaskID]TaskID),
+	}
+	for i := range in.Workers {
+		w := in.Workers[i]
+		if !box.Contains(w.Loc) {
+			continue
+		}
+		maps.WorkerToOld = append(maps.WorkerToOld, w.ID)
+		w.ID = WorkerID(len(out.Workers))
+		w.Skills = w.Skills.Clone()
+		out.Workers = append(out.Workers, w)
+	}
+	for i := range in.Tasks {
+		if !keepTask[i] {
+			continue
+		}
+		t := in.Tasks[i]
+		maps.taskNew[t.ID] = TaskID(len(out.Tasks))
+		maps.TaskToOld = append(maps.TaskToOld, t.ID)
+		t.ID = TaskID(len(out.Tasks))
+		out.Tasks = append(out.Tasks, t)
+	}
+	// Remap dependency IDs (all targets survived by construction).
+	for i := range out.Tasks {
+		old := out.Tasks[i].Deps
+		deps := make([]TaskID, len(old))
+		for j, d := range old {
+			deps[j] = maps.taskNew[d]
+		}
+		sort.Slice(deps, func(a, b int) bool { return deps[a] < deps[b] })
+		out.Tasks[i].Deps = deps
+	}
+	return out, maps
+}
+
+// IDMaps translates a sub-instance's dense IDs back to the original ones.
+type IDMaps struct {
+	WorkerToOld []WorkerID // new worker ID -> original
+	TaskToOld   []TaskID   // new task ID -> original
+	taskNew     map[TaskID]TaskID
+}
+
+// OriginalPair translates a sub-instance assignment pair back to original
+// IDs. It panics on out-of-range IDs, which indicate a mismatched map.
+func (m *IDMaps) OriginalPair(p Pair) Pair {
+	return Pair{
+		Worker: m.WorkerToOld[p.Worker],
+		Task:   m.TaskToOld[p.Task],
+	}
+}
+
+// MergeAssignments lifts per-shard assignments back into original IDs and
+// concatenates them. Shards built from disjoint regions cannot collide on
+// workers or tasks; Validate on the merged result guards against misuse.
+func MergeAssignments(shards []*Assignment, maps []*IDMaps) (*Assignment, error) {
+	if len(shards) != len(maps) {
+		return nil, fmt.Errorf("model: %d assignments for %d maps", len(shards), len(maps))
+	}
+	out := NewAssignment()
+	for i, a := range shards {
+		for _, p := range a.Pairs {
+			out.Add(maps[i].OriginalPair(p).Worker, maps[i].OriginalPair(p).Task)
+		}
+	}
+	out.Sort()
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package model
+
+import (
+	"testing"
+
+	"dasc/internal/geo"
+)
+
+func TestSubsetByRegionExample1(t *testing.T) {
+	in := Example1()
+	// Left half: x ≤ 3.5. Workers w1 (2,1), w2 (3,3); tasks t2 (2,2),
+	// t4 (3,4), t5 (1,2). t2 depends on t1 (4,1) — outside — so t2 drops;
+	// t5 depends on t4 — inside — so both stay.
+	box := geo.NewBBox(geo.Pt(0, 0), geo.Pt(3.5, 5))
+	sub, maps := in.SubsetByRegion(box)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Workers) != 2 {
+		t.Fatalf("workers = %d, want 2", len(sub.Workers))
+	}
+	if len(sub.Tasks) != 2 {
+		t.Fatalf("tasks = %v, want t4 and t5", sub.Tasks)
+	}
+	if maps.TaskToOld[0] != 3 || maps.TaskToOld[1] != 4 {
+		t.Errorf("TaskToOld = %v", maps.TaskToOld)
+	}
+	// The dependency of the re-densified t5 points at the re-densified t4.
+	if len(sub.Tasks[1].Deps) != 1 || sub.Tasks[1].Deps[0] != 0 {
+		t.Errorf("remapped deps = %v", sub.Tasks[1].Deps)
+	}
+}
+
+func TestSubsetCascadingDrop(t *testing.T) {
+	// Chain t0→t1→t2 where t0 is outside the box: t1 AND t2 must drop.
+	in := &Instance{
+		Workers: []Worker{{ID: 0, Loc: geo.Pt(1, 1), Start: 0, Wait: 10, Velocity: 1, MaxDist: 10, Skills: NewSkillSet(0)}},
+		Tasks: []Task{
+			{ID: 0, Loc: geo.Pt(9, 9), Start: 0, Wait: 10, Requires: 0},
+			{ID: 1, Loc: geo.Pt(1, 1), Start: 0, Wait: 10, Requires: 0, Deps: []TaskID{0}},
+			{ID: 2, Loc: geo.Pt(1, 2), Start: 0, Wait: 10, Requires: 0, Deps: []TaskID{0, 1}},
+			{ID: 3, Loc: geo.Pt(2, 2), Start: 0, Wait: 10, Requires: 0},
+		},
+	}
+	sub, _ := in.SubsetByRegion(geo.NewBBox(geo.Pt(0, 0), geo.Pt(5, 5)))
+	if len(sub.Tasks) != 1 || sub.Tasks[0].Loc != geo.Pt(2, 2) {
+		t.Fatalf("tasks = %v, want only the independent one", sub.Tasks)
+	}
+}
+
+func TestMergeAssignments(t *testing.T) {
+	in := Example1()
+	left, lm := in.SubsetByRegion(geo.NewBBox(geo.Pt(0, 0), geo.Pt(3.5, 5)))
+	right, rm := in.SubsetByRegion(geo.NewBBox(geo.Pt(3.6, 0), geo.Pt(9, 5)))
+	// Trivial shard assignments: first worker takes first task where any
+	// feasible pair exists.
+	mk := func(sub *Instance) *Assignment {
+		a := NewAssignment()
+		for wi := range sub.Workers {
+			for ti := range sub.Tasks {
+				if len(sub.Tasks[ti].Deps) == 0 && Feasible(&sub.Workers[wi], &sub.Tasks[ti], geo.Euclidean) {
+					a.Add(sub.Workers[wi].ID, sub.Tasks[ti].ID)
+					return a
+				}
+			}
+		}
+		return a
+	}
+	la, ra := mk(left), mk(right)
+	merged, err := MergeAssignments([]*Assignment{la, ra}, []*IDMaps{lm, rm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Size() != la.Size()+ra.Size() {
+		t.Fatalf("merged %d pairs from %d + %d", merged.Size(), la.Size(), ra.Size())
+	}
+	// Original-ID validity: feasibility must hold in the original instance.
+	for _, p := range merged.Pairs {
+		if !Feasible(in.Worker(p.Worker), in.Task(p.Task), geo.Euclidean) {
+			t.Fatalf("merged pair %v infeasible in the original", p)
+		}
+	}
+	if _, err := MergeAssignments([]*Assignment{la}, []*IDMaps{lm, rm}); err == nil {
+		t.Error("mismatched shard counts accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package model defines the DA-SC domain objects from Section II of the
+// paper — heterogeneous workers (Definition 1), dependency-aware spatial
+// tasks (Definition 2) — together with the feasibility predicates encoding
+// the four constraints of Definition 3 and whole-assignment validation.
+package model
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Skill identifies one ability ψ in the skill universe Ψ. Skills are dense
+// integers in [0, r).
+type Skill int32
+
+// SkillSet is a bitset over the skill universe. The synthetic workloads use
+// universes up to ~2000 skills and workers holding ≤ 30 of them, so a packed
+// bitset keeps the per-worker membership test at a couple of instructions.
+type SkillSet struct {
+	words []uint64
+}
+
+// NewSkillSet returns a set containing the given skills.
+func NewSkillSet(skills ...Skill) SkillSet {
+	var s SkillSet
+	for _, sk := range skills {
+		s.Add(sk)
+	}
+	return s
+}
+
+// Add inserts sk into the set. Negative skills panic.
+func (s *SkillSet) Add(sk Skill) {
+	if sk < 0 {
+		panic(fmt.Sprintf("model: negative skill %d", sk))
+	}
+	w := int(sk) / 64
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(sk) % 64)
+}
+
+// Remove deletes sk from the set; removing an absent skill is a no-op.
+func (s *SkillSet) Remove(sk Skill) {
+	w := int(sk) / 64
+	if sk < 0 || w >= len(s.words) {
+		return
+	}
+	s.words[w] &^= 1 << (uint(sk) % 64)
+}
+
+// Has reports whether sk is in the set.
+func (s SkillSet) Has(sk Skill) bool {
+	w := int(sk) / 64
+	if sk < 0 || w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(sk)%64)) != 0
+}
+
+// Len returns the number of skills in the set.
+func (s SkillSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set holds no skills.
+func (s SkillSet) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new set holding every skill in s or o.
+func (s SkillSet) Union(o SkillSet) SkillSet {
+	long, short := s.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	out := make([]uint64, len(long))
+	copy(out, long)
+	for i, w := range short {
+		out[i] |= w
+	}
+	return SkillSet{words: out}
+}
+
+// Intersect returns a new set holding the skills in both s and o.
+func (s SkillSet) Intersect(o SkillSet) SkillSet {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.words[i] & o.words[i]
+	}
+	return SkillSet{words: out}
+}
+
+// ContainsAll reports whether every skill of o is also in s.
+func (s SkillSet) ContainsAll(o SkillSet) bool {
+	for i, w := range o.words {
+		var sw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if w&^sw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets hold exactly the same skills.
+func (s SkillSet) Equal(o SkillSet) bool {
+	long, short := s.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for i := len(short); i < len(long); i++ {
+		if long[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s SkillSet) Clone() SkillSet {
+	return SkillSet{words: append([]uint64(nil), s.words...)}
+}
+
+// Skills returns the members in ascending order.
+func (s SkillSet) Skills() []Skill {
+	out := make([]Skill, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, Skill(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer, e.g. "{ψ1, ψ4}". Skills appear in
+// ascending numeric order.
+func (s SkillSet) String() string {
+	skills := s.Skills()
+	parts := make([]string, len(skills))
+	for i, sk := range skills {
+		parts[i] = fmt.Sprintf("ψ%d", sk)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,183 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkillSetBasics(t *testing.T) {
+	var s SkillSet
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Error("zero value should be empty")
+	}
+	s.Add(3)
+	s.Add(70) // second word
+	s.Add(3)  // duplicate
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Has(3) || !s.Has(70) || s.Has(4) || s.Has(-1) {
+		t.Error("Has wrong")
+	}
+	s.Remove(3)
+	if s.Has(3) || s.Len() != 1 {
+		t.Error("Remove failed")
+	}
+	s.Remove(999) // out of range no-op
+	s.Remove(-5)
+}
+
+func TestSkillSetOps(t *testing.T) {
+	a := NewSkillSet(1, 2, 65)
+	b := NewSkillSet(2, 3)
+	if got := a.Union(b).Skills(); !reflect.DeepEqual(got, []Skill{1, 2, 3, 65}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Skills(); !reflect.DeepEqual(got, []Skill{2}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.ContainsAll(NewSkillSet(1, 65)) {
+		t.Error("ContainsAll false negative")
+	}
+	if a.ContainsAll(b) {
+		t.Error("ContainsAll false positive")
+	}
+	if !a.ContainsAll(SkillSet{}) {
+		t.Error("every set contains the empty set")
+	}
+	if !a.Equal(NewSkillSet(65, 2, 1)) {
+		t.Error("Equal order-sensitive")
+	}
+	if a.Equal(b) {
+		t.Error("Equal false positive")
+	}
+	// Equal must ignore trailing zero words.
+	c := NewSkillSet(1, 200)
+	c.Remove(200)
+	if !c.Equal(NewSkillSet(1)) {
+		t.Error("Equal tripped by trailing zero words")
+	}
+}
+
+func TestSkillSetCloneIndependence(t *testing.T) {
+	a := NewSkillSet(1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Has(2) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSkillSetString(t *testing.T) {
+	if got := NewSkillSet(2, 10, 1).String(); got != "{ψ1, ψ2, ψ10}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (SkillSet{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// TestSkillSetModelProperty cross-checks the bitset against a map-based
+// reference model under random operation sequences.
+func TestSkillSetModelProperty(t *testing.T) {
+	type op struct {
+		Add   bool
+		Skill uint8
+	}
+	f := func(ops []op) bool {
+		var s SkillSet
+		ref := map[Skill]bool{}
+		for _, o := range ops {
+			sk := Skill(o.Skill)
+			if o.Add {
+				s.Add(sk)
+				ref[sk] = true
+			} else {
+				s.Remove(sk)
+				delete(ref, sk)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for sk := range ref {
+			if !s.Has(sk) {
+				return false
+			}
+		}
+		for _, sk := range s.Skills() {
+			if !ref[sk] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSkillSetUnionProperty: |A ∪ B| + |A ∩ B| == |A| + |B|.
+func TestSkillSetUnionProperty(t *testing.T) {
+	f := func(as, bs []uint8) bool {
+		var a, b SkillSet
+		for _, v := range as {
+			a.Add(Skill(v))
+		}
+		for _, v := range bs {
+			b.Add(Skill(v))
+		}
+		return a.Union(b).Len()+a.Intersect(b).Len() == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkillNames(t *testing.T) {
+	r := NewSkillNames()
+	plumbing := r.MustIntern("plumbing")
+	painting := r.MustIntern("painting")
+	if plumbing != 0 || painting != 1 {
+		t.Errorf("ids = %d, %d", plumbing, painting)
+	}
+	// Idempotent.
+	if again := r.MustIntern("plumbing"); again != plumbing {
+		t.Errorf("re-intern = %d", again)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if id, ok := r.Lookup("painting"); !ok || id != painting {
+		t.Errorf("Lookup = %d, %v", id, ok)
+	}
+	if _, ok := r.Lookup("welding"); ok {
+		t.Error("unknown name found")
+	}
+	if got := r.Name(plumbing); got != "plumbing" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := r.Name(99); got != "ψ99" {
+		t.Errorf("unknown Name = %q", got)
+	}
+	if _, err := r.Intern(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	set, err := r.Set("painting", "welding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Has(painting) || set.Len() != 2 {
+		t.Errorf("Set = %v", set)
+	}
+	if got := r.Describe(set); got != "{painting, welding}" {
+		t.Errorf("Describe = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIntern(\"\") did not panic")
+		}
+	}()
+	r.MustIntern("")
+}

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SkillNames maps human-readable skill names to dense Skill IDs and back —
+// the bridge between application vocabularies ("plumbing", "photography")
+// and the library's integer skills. Intern is idempotent, so callers can
+// build instances from string data without pre-declaring a universe.
+//
+// Not safe for concurrent mutation; wrap with a lock for shared use.
+type SkillNames struct {
+	byName map[string]Skill
+	names  []string
+}
+
+// NewSkillNames returns an empty registry.
+func NewSkillNames() *SkillNames {
+	return &SkillNames{byName: make(map[string]Skill)}
+}
+
+// Intern returns the skill ID for name, allocating the next dense ID on
+// first sight. Empty names are rejected.
+func (r *SkillNames) Intern(name string) (Skill, error) {
+	if name == "" {
+		return 0, fmt.Errorf("model: empty skill name")
+	}
+	if id, ok := r.byName[name]; ok {
+		return id, nil
+	}
+	id := Skill(len(r.names))
+	r.byName[name] = id
+	r.names = append(r.names, name)
+	return id, nil
+}
+
+// MustIntern is Intern for static literals; it panics on the empty string.
+func (r *SkillNames) MustIntern(name string) Skill {
+	id, err := r.Intern(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Lookup returns the ID for a previously interned name.
+func (r *SkillNames) Lookup(name string) (Skill, bool) {
+	id, ok := r.byName[name]
+	return id, ok
+}
+
+// Name returns the name of a skill ID, or "ψ<id>" for unknown IDs (so
+// renderers degrade gracefully on instances built without the registry).
+func (r *SkillNames) Name(id Skill) string {
+	if id >= 0 && int(id) < len(r.names) {
+		return r.names[id]
+	}
+	return fmt.Sprintf("ψ%d", id)
+}
+
+// Len returns the number of interned skills — usable as an Instance's
+// SkillUniverse.
+func (r *SkillNames) Len() int { return len(r.names) }
+
+// Set builds a SkillSet from names, interning as needed.
+func (r *SkillNames) Set(names ...string) (SkillSet, error) {
+	var s SkillSet
+	for _, n := range names {
+		id, err := r.Intern(n)
+		if err != nil {
+			return SkillSet{}, err
+		}
+		s.Add(id)
+	}
+	return s, nil
+}
+
+// Describe renders a SkillSet with names, e.g. "{painting, plumbing}",
+// sorted alphabetically.
+func (r *SkillNames) Describe(s SkillSet) string {
+	skills := s.Skills()
+	names := make([]string, len(skills))
+	for i, id := range skills {
+		names[i] = r.Name(id)
+	}
+	sort.Strings(names)
+	out := "{"
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out + "}"
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dasc/internal/dataset"
+	"dasc/internal/geo"
+	"dasc/internal/model"
+	"dasc/internal/viz"
+)
+
+// workerDTO is the JSON body of POST /v1/workers.
+type workerDTO struct {
+	X        float64       `json:"x"`
+	Y        float64       `json:"y"`
+	Start    float64       `json:"start"`
+	Wait     float64       `json:"wait"`
+	Velocity float64       `json:"velocity"`
+	MaxDist  float64       `json:"max_dist"`
+	Skills   []model.Skill `json:"skills"`
+}
+
+// taskDTO is the JSON body of POST /v1/tasks.
+type taskDTO struct {
+	X        float64        `json:"x"`
+	Y        float64        `json:"y"`
+	Start    float64        `json:"start"`
+	Wait     float64        `json:"wait"`
+	Requires model.Skill    `json:"requires"`
+	Deps     []model.TaskID `json:"deps"`
+}
+
+// idResponse acknowledges a registration.
+type idResponse struct {
+	ID int `json:"id"`
+}
+
+// Handler returns the platform's HTTP API:
+//
+//	POST /v1/workers      register a worker            → {"id": n}
+//	POST /v1/tasks        register a task              → {"id": n}
+//	POST /v1/tick?t=12.5  run a batch at logical time  → BatchOutcome
+//	GET  /v1/stats        counters
+//	GET  /v1/assignments  all valid pairs so far
+//	GET  /v1/instance     dataset JSON (archivable)
+//	GET  /v1/svg          spatial snapshot as SVG
+func Handler(p *Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var dto workerDTO
+		if err := decode(r, &dto); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := p.AddWorker(model.Worker{
+			Loc:      pt(dto.X, dto.Y),
+			Start:    dto.Start,
+			Wait:     dto.Wait,
+			Velocity: dto.Velocity,
+			MaxDist:  dto.MaxDist,
+			Skills:   model.NewSkillSet(dto.Skills...),
+		})
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
+	})
+	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		var dto taskDTO
+		if err := decode(r, &dto); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := p.AddTask(model.Task{
+			Loc:      pt(dto.X, dto.Y),
+			Start:    dto.Start,
+			Wait:     dto.Wait,
+			Requires: dto.Requires,
+			Deps:     dto.Deps,
+		})
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
+	})
+	mux.HandleFunc("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
+		var now float64
+		if _, err := fmt.Sscanf(r.URL.Query().Get("t"), "%g", &now); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?t=<time>: %w", err))
+			return
+		}
+		out, err := p.Tick(now)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := dataset.WriteAssignment(w, p.Assignments()); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+	mux.HandleFunc("GET /v1/instance", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := dataset.Write(w, p.Instance()); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+	mux.HandleFunc("GET /v1/svg", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		err := viz.WriteSVG(w, p.Instance(), viz.SVGOptions{
+			Assignment: p.Assignments(),
+			DrawDeps:   true,
+		})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+	return mux
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func pt(x, y float64) geo.Point { return geo.Pt(x, y) }

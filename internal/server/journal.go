@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"dasc/internal/model"
+)
+
+// Journal is an append-only JSONL event log for the platform: every worker
+// registration, task registration and batch tick is recorded as one line, so
+// a crashed or restarted server can rebuild its exact state with Replay.
+// Entries are written through a buffered writer and flushed per event; the
+// file format is stable and human-greppable.
+type Journal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// journalEntry is one logged event. Exactly one of the payload fields is set.
+type journalEntry struct {
+	// Kind is "worker", "task" or "tick".
+	Kind   string         `json:"kind"`
+	Worker *journalWorker `json:"worker,omitempty"`
+	Task   *journalTask   `json:"task,omitempty"`
+	Tick   *float64       `json:"tick,omitempty"`
+}
+
+type journalWorker struct {
+	X        float64       `json:"x"`
+	Y        float64       `json:"y"`
+	Start    float64       `json:"start"`
+	Wait     float64       `json:"wait"`
+	Velocity float64       `json:"velocity"`
+	MaxDist  float64       `json:"max_dist"`
+	Skills   []model.Skill `json:"skills"`
+}
+
+type journalTask struct {
+	X        float64        `json:"x"`
+	Y        float64        `json:"y"`
+	Start    float64        `json:"start"`
+	Wait     float64        `json:"wait"`
+	Requires model.Skill    `json:"requires"`
+	Deps     []model.TaskID `json:"deps,omitempty"`
+	Weight   float64        `json:"weight,omitempty"`
+}
+
+// NewJournal writes events to w; close (may be nil) is closed by Close.
+func NewJournal(w io.Writer, close io.Closer) *Journal {
+	return &Journal{w: bufio.NewWriter(w), c: close}
+}
+
+// OpenJournal appends to (creating if needed) the JSONL file at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewJournal(f, f), nil
+}
+
+func (j *Journal) append(e journalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return err
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// Worker logs a worker registration.
+func (j *Journal) Worker(w model.Worker) error {
+	return j.append(journalEntry{Kind: "worker", Worker: &journalWorker{
+		X: w.Loc.X, Y: w.Loc.Y, Start: w.Start, Wait: w.Wait,
+		Velocity: w.Velocity, MaxDist: w.MaxDist, Skills: w.Skills.Skills(),
+	}})
+}
+
+// Task logs a task registration (with its pre-closure dependency list — the
+// platform recloses on replay).
+func (j *Journal) Task(t model.Task) error {
+	return j.append(journalEntry{Kind: "task", Task: &journalTask{
+		X: t.Loc.X, Y: t.Loc.Y, Start: t.Start, Wait: t.Wait,
+		Requires: t.Requires, Deps: t.Deps, Weight: t.Weight,
+	}})
+}
+
+// TickAt logs a batch tick at the given logical time.
+func (j *Journal) TickAt(now float64) error {
+	return j.append(journalEntry{Kind: "tick", Tick: &now})
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.w.Flush(); ferr != nil && j.err == nil {
+		j.err = ferr
+	}
+	if j.c != nil {
+		if cerr := j.c.Close(); cerr != nil && j.err == nil {
+			j.err = cerr
+		}
+	}
+	return j.err
+}
+
+// Replay feeds a journal stream back into a fresh platform, reproducing its
+// state: registrations re-register and ticks re-run. The platform must use
+// the same allocator configuration as the original for identical outcomes
+// (allocators are deterministic for a fixed seed).
+func Replay(r io.Reader, p *Platform) error {
+	p.mu.Lock()
+	p.replaying = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.replaying = false
+		p.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("server: journal line %d: %w", line, err)
+		}
+		switch e.Kind {
+		case "worker":
+			if e.Worker == nil {
+				return fmt.Errorf("server: journal line %d: worker entry without payload", line)
+			}
+			w := e.Worker
+			_, err := p.AddWorker(model.Worker{
+				Loc: pt(w.X, w.Y), Start: w.Start, Wait: w.Wait,
+				Velocity: w.Velocity, MaxDist: w.MaxDist,
+				Skills: model.NewSkillSet(w.Skills...),
+			})
+			if err != nil {
+				return fmt.Errorf("server: journal line %d: %w", line, err)
+			}
+		case "task":
+			if e.Task == nil {
+				return fmt.Errorf("server: journal line %d: task entry without payload", line)
+			}
+			t := e.Task
+			_, err := p.AddTask(model.Task{
+				Loc: pt(t.X, t.Y), Start: t.Start, Wait: t.Wait,
+				Requires: t.Requires, Deps: t.Deps, Weight: t.Weight,
+			})
+			if err != nil {
+				return fmt.Errorf("server: journal line %d: %w", line, err)
+			}
+		case "tick":
+			if e.Tick == nil {
+				return fmt.Errorf("server: journal line %d: tick entry without time", line)
+			}
+			if _, err := p.Tick(*e.Tick); err != nil {
+				return fmt.Errorf("server: journal line %d: %w", line, err)
+			}
+		default:
+			return fmt.Errorf("server: journal line %d: unknown kind %q", line, e.Kind)
+		}
+	}
+	return sc.Err()
+}
+
+// openForRead opens a journal file for replay.
+func openForRead(path string) (*os.File, error) { return os.Open(path) }

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/model"
+)
+
+// driveExample runs Example 1 through a journaled platform: register
+// everyone, tick twice.
+func driveExample(t *testing.T, p *Platform) {
+	t.Helper()
+	ex := model.Example1()
+	for _, w := range ex.Workers {
+		if _, err := p.AddWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tk := range ex.Tasks {
+		if _, err := p.AddTask(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Tick(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalReplayReproducesState(t *testing.T) {
+	var log bytes.Buffer
+	j := NewJournal(&log, nil)
+	p1, err := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveExample(t, p1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 workers + 5 tasks + 2 ticks = 10 lines.
+	if lines := strings.Count(log.String(), "\n"); lines != 10 {
+		t.Fatalf("journal lines = %d, want 10", lines)
+	}
+
+	// Rebuild a fresh platform from the journal: identical state.
+	p2, err := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(bytes.NewReader(log.Bytes()), p2); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := p1.Snapshot(), p2.Snapshot()
+	if s1.Workers != s2.Workers || s1.Tasks != s2.Tasks ||
+		s1.AssignedTasks != s2.AssignedTasks || s1.Batches != s2.Batches || s1.Now != s2.Now {
+		t.Fatalf("replayed state differs: %+v vs %+v", s1, s2)
+	}
+	if a1, a2 := p1.Assignments().String(), p2.Assignments().String(); a1 != a2 {
+		t.Fatalf("replayed assignments differ:\n%s\n%s", a1, a2)
+	}
+}
+
+func TestJournalReplayIsNotReJournaled(t *testing.T) {
+	var src bytes.Buffer
+	j1 := NewJournal(&src, nil)
+	p1, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j1})
+	driveExample(t, p1)
+
+	// Replaying into a platform that itself journals must not duplicate
+	// entries into its own journal.
+	var dst bytes.Buffer
+	j2 := NewJournal(&dst, nil)
+	p2, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j2})
+	if err := Replay(bytes.NewReader(src.Bytes()), p2); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Errorf("replay re-journaled %d bytes", dst.Len())
+	}
+	// New events after replay journal normally again.
+	if _, err := p2.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dst.String(), `"kind":"tick"`) {
+		t.Errorf("post-replay tick not journaled: %q", dst.String())
+	}
+}
+
+func TestJournalFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "platform.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	driveExample(t, p1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := openForRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p2, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err := Replay(f, p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Snapshot().AssignedTasks != p1.Snapshot().AssignedTasks {
+		t.Error("file round trip lost assignments")
+	}
+}
+
+func TestReplayRejectsCorruptJournals(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "not json\n",
+		"unknown kind":   `{"kind":"banana"}` + "\n",
+		"tick no time":   `{"kind":"tick"}` + "\n",
+		"worker no body": `{"kind":"worker"}` + "\n",
+		"task no body":   `{"kind":"task"}` + "\n",
+		"invalid worker": `{"kind":"worker","worker":{"skills":[]}}` + "\n",
+	}
+	for name, body := range cases {
+		p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+		if err := Replay(strings.NewReader(body), p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Empty lines are tolerated.
+	p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err := Replay(strings.NewReader("\n\n"), p); err != nil {
+		t.Errorf("blank lines rejected: %v", err)
+	}
+}
+
+func TestJournalWriteFailureSurfaces(t *testing.T) {
+	j := NewJournal(failingWriter{}, nil)
+	p, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	_, err := p.AddWorker(model.Worker{Wait: 1, Velocity: 1, MaxDist: 1, Skills: model.NewSkillSet(0)})
+	if err == nil {
+		t.Fatal("journal write failure swallowed")
+	}
+	if !errors.Is(err, errDiskFull) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+type failingWriter struct{}
+
+var errDiskFull = errors.New("disk full")
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errDiskFull }

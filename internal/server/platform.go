@@ -1,0 +1,313 @@
+// Package server implements the dependency-aware spatial-crowdsourcing
+// platform as a long-running service: requesters POST tasks (with
+// dependencies), workers POST themselves, and every batch tick the
+// configured allocator assigns the active workers to the pending tasks.
+// Package platform.go holds the concurrency-safe state machine; http.go
+// exposes it as a JSON HTTP API.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"dasc/internal/core"
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// Platform is the mutable, concurrency-safe platform state. Logical time is
+// supplied by the caller (the HTTP layer maps wall-clock or explicit ticks
+// onto it); it must never go backwards.
+type Platform struct {
+	mu sync.Mutex
+
+	alloc       core.Allocator
+	serviceTime float64
+	dist        geo.DistanceFunc
+	journal     *Journal
+	replaying   bool
+
+	workers []model.Worker
+	wstate  []workerState
+	tasks   []model.Task
+
+	assigned map[model.TaskID]model.WorkerID // validly assigned tasks
+	botched  map[model.TaskID]bool           // consumed by invalid dispatch
+	finishAt map[model.TaskID]float64
+
+	now     float64
+	batches int
+	wasted  int
+}
+
+type workerState struct {
+	loc       geo.Point
+	busyUntil float64
+	distUsed  float64
+	done      int
+}
+
+// Config configures a Platform.
+type Config struct {
+	// Allocator decides batch assignments. Required.
+	Allocator core.Allocator
+	// ServiceTime is the on-site duration per task.
+	ServiceTime float64
+	// Dist is the travel metric; nil means Euclidean.
+	Dist geo.DistanceFunc
+	// Journal, when non-nil, receives every registration and tick so the
+	// platform state can be rebuilt after a restart via Replay. Journal
+	// write failures are returned to the caller of the mutating operation.
+	Journal *Journal
+}
+
+// NewPlatform creates an empty platform.
+func NewPlatform(cfg Config) (*Platform, error) {
+	if cfg.Allocator == nil {
+		return nil, errors.New("server: Config.Allocator is required")
+	}
+	if cfg.ServiceTime < 0 {
+		return nil, fmt.Errorf("server: negative service time %v", cfg.ServiceTime)
+	}
+	dist := cfg.Dist
+	if dist == nil {
+		dist = geo.Euclidean
+	}
+	return &Platform{
+		alloc:       cfg.Allocator,
+		serviceTime: cfg.ServiceTime,
+		dist:        dist,
+		journal:     cfg.Journal,
+		assigned:    make(map[model.TaskID]model.WorkerID),
+		botched:     make(map[model.TaskID]bool),
+		finishAt:    make(map[model.TaskID]float64),
+	}, nil
+}
+
+// AddWorker registers a worker and returns its ID. Fields other than the ID
+// are taken from w verbatim; validation mirrors model.Instance.Validate.
+func (p *Platform) AddWorker(w model.Worker) (model.WorkerID, error) {
+	if w.Wait < 0 || w.Velocity < 0 || w.MaxDist < 0 {
+		return 0, errors.New("server: negative worker parameter")
+	}
+	if w.Skills.IsEmpty() {
+		return 0, errors.New("server: worker has no skills")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.ID = model.WorkerID(len(p.workers))
+	p.workers = append(p.workers, w)
+	p.wstate = append(p.wstate, workerState{loc: w.Loc})
+	if p.journal != nil && !p.replaying {
+		if err := p.journal.Worker(w); err != nil {
+			return w.ID, fmt.Errorf("server: journal: %w", err)
+		}
+	}
+	return w.ID, nil
+}
+
+// AddTask registers a task and returns its ID. Dependencies must reference
+// already-registered tasks, which keeps the dependency graph acyclic by
+// construction (as in the paper's generators, creation order is appearance
+// order).
+func (p *Platform) AddTask(t model.Task) (model.TaskID, error) {
+	if t.Wait < 0 {
+		return 0, errors.New("server: negative task waiting time")
+	}
+	if t.Requires < 0 {
+		return 0, errors.New("server: negative required skill")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := model.TaskID(len(p.tasks))
+	seen := make(map[model.TaskID]bool, len(t.Deps))
+	for _, d := range t.Deps {
+		if d < 0 || int(d) >= len(p.tasks) {
+			return 0, fmt.Errorf("server: dependency t%d not registered yet", d)
+		}
+		if seen[d] {
+			return 0, fmt.Errorf("server: duplicate dependency t%d", d)
+		}
+		seen[d] = true
+	}
+	// Keep dependency sets transitively closed, the library invariant.
+	closed := append([]model.TaskID(nil), t.Deps...)
+	for _, d := range t.Deps {
+		for _, dd := range p.tasks[d].Deps {
+			if !seen[dd] {
+				seen[dd] = true
+				closed = append(closed, dd)
+			}
+		}
+	}
+	t.Deps = closed
+	t.ID = id
+	p.tasks = append(p.tasks, t)
+	if p.journal != nil && !p.replaying {
+		if err := p.journal.Task(t); err != nil {
+			return id, fmt.Errorf("server: journal: %w", err)
+		}
+	}
+	return id, nil
+}
+
+// BatchOutcome reports one tick's allocation.
+type BatchOutcome struct {
+	Batch    int          `json:"batch"`
+	Time     float64      `json:"time"`
+	Workers  int          `json:"active_workers"`
+	Tasks    int          `json:"pending_tasks"`
+	Assigned []model.Pair `json:"assigned"`
+	Wasted   int          `json:"wasted"`
+}
+
+// Tick advances logical time to now and runs one batch process. Time must
+// not go backwards.
+func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now < p.now {
+		return nil, fmt.Errorf("server: time going backwards (%v < %v)", now, p.now)
+	}
+	if p.journal != nil && !p.replaying {
+		if err := p.journal.TickAt(now); err != nil {
+			return nil, fmt.Errorf("server: journal: %w", err)
+		}
+	}
+	p.now = now
+	out := &BatchOutcome{Batch: p.batches, Time: now, Assigned: []model.Pair{}}
+	p.batches++
+
+	in := &model.Instance{Workers: p.workers, Tasks: p.tasks, Dist: p.dist}
+	var bws []core.BatchWorker
+	var wIdx []int
+	for i := range p.workers {
+		w := &p.workers[i]
+		if w.Start > now || now > w.Expiry() || p.wstate[i].busyUntil > now {
+			continue
+		}
+		bws = append(bws, core.BatchWorker{
+			W:          w,
+			Loc:        p.wstate[i].loc,
+			ReadyAt:    now,
+			DistBudget: w.MaxDist - p.wstate[i].distUsed,
+		})
+		wIdx = append(wIdx, i)
+	}
+	var pending []*model.Task
+	for i := range p.tasks {
+		t := &p.tasks[i]
+		if _, ok := p.assigned[t.ID]; ok {
+			continue
+		}
+		if p.botched[t.ID] || t.Start > now || t.Deadline() < now {
+			continue
+		}
+		pending = append(pending, t)
+	}
+	out.Workers, out.Tasks = len(bws), len(pending)
+	if len(bws) == 0 || len(pending) == 0 {
+		return out, nil
+	}
+
+	satisfied := make(map[model.TaskID]bool, len(p.assigned))
+	for id := range p.assigned {
+		satisfied[id] = true
+	}
+	b := core.NewBatch(in, bws, pending, satisfied)
+	raw := p.alloc.Assign(b)
+	valid := core.DependencyFixpoint(b, raw)
+	out.Assigned = valid.Pairs
+	out.Wasted = raw.Size() - valid.Size()
+	p.wasted += out.Wasted
+
+	validSet := valid.TaskSet()
+	widOf := make(map[model.WorkerID]int, len(wIdx))
+	for bi, i := range wIdx {
+		widOf[p.workers[i].ID] = bi
+	}
+	for _, pair := range raw.Pairs {
+		i := wIdx[widOf[pair.Worker]]
+		w := &p.workers[i]
+		t := &p.tasks[pair.Task]
+		d := p.dist(p.wstate[i].loc, t.Loc)
+		arrive := math.Max(now, t.Start) + w.TravelTime(p.wstate[i].loc, t.Loc, p.dist)
+		serviceStart := arrive
+		for _, dep := range t.Deps {
+			if fa, ok := p.finishAt[dep]; ok && fa > serviceStart {
+				serviceStart = fa
+			}
+		}
+		finish := serviceStart + p.serviceTime
+		p.wstate[i].loc = t.Loc
+		p.wstate[i].distUsed += d
+		p.wstate[i].busyUntil = finish
+		p.wstate[i].done++
+		if validSet[pair.Task] {
+			p.assigned[pair.Task] = pair.Worker
+			p.finishAt[pair.Task] = finish
+		} else {
+			p.botched[pair.Task] = true
+		}
+	}
+	return out, nil
+}
+
+// Stats is a snapshot of platform counters.
+type Stats struct {
+	Now           float64 `json:"now"`
+	Batches       int     `json:"batches"`
+	Workers       int     `json:"workers"`
+	Tasks         int     `json:"tasks"`
+	AssignedTasks int     `json:"assigned_tasks"`
+	WastedPairs   int     `json:"wasted_pairs"`
+	Allocator     string  `json:"allocator"`
+}
+
+// Snapshot returns current counters.
+func (p *Platform) Snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Now:           p.now,
+		Batches:       p.batches,
+		Workers:       len(p.workers),
+		Tasks:         len(p.tasks),
+		AssignedTasks: len(p.assigned),
+		WastedPairs:   p.wasted,
+		Allocator:     p.alloc.Name(),
+	}
+}
+
+// Assignments returns every valid pair so far, sorted by task ID.
+func (p *Platform) Assignments() *model.Assignment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := model.NewAssignment()
+	for tid, wid := range p.assigned {
+		a.Add(wid, tid)
+	}
+	a.Sort()
+	return a
+}
+
+// Instance returns a deep copy of the current worker and task registries,
+// suitable for archiving via the dataset codec.
+func (p *Platform) Instance() *model.Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	in := &model.Instance{
+		Workers: append([]model.Worker(nil), p.workers...),
+		Tasks:   make([]model.Task, len(p.tasks)),
+	}
+	for i, t := range p.tasks {
+		t.Deps = append([]model.TaskID(nil), t.Deps...)
+		in.Tasks[i] = t
+	}
+	for i := range in.Workers {
+		in.Workers[i].Skills = in.Workers[i].Skills.Clone()
+	}
+	return in
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+func newTestServer(t *testing.T) (*Platform, *httptest.Server) {
+	t.Helper()
+	p, err := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(p))
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	_ = json.Unmarshal(buf.Bytes(), &out)
+	return resp, out
+}
+
+func TestHTTPEndToEndExample1(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Register the Example 1 population through the API.
+	ex := model.Example1()
+	for i := range ex.Workers {
+		w := &ex.Workers[i]
+		skills, _ := json.Marshal(w.Skills.Skills())
+		body := fmt.Sprintf(`{"x":%g,"y":%g,"start":0,"wait":1000,"velocity":10,"max_dist":1000,"skills":%s}`,
+			w.Loc.X, w.Loc.Y, skills)
+		resp, out := postJSON(t, ts.URL+"/v1/workers", body)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("worker %d: status %d (%v)", i, resp.StatusCode, out)
+		}
+		if int(out["id"].(float64)) != i {
+			t.Fatalf("worker id = %v, want %d", out["id"], i)
+		}
+	}
+	for i := range ex.Tasks {
+		tk := &ex.Tasks[i]
+		deps, _ := json.Marshal(tk.Deps)
+		body := fmt.Sprintf(`{"x":%g,"y":%g,"start":0,"wait":1000,"requires":%d,"deps":%s}`,
+			tk.Loc.X, tk.Loc.Y, tk.Requires, deps)
+		resp, out := postJSON(t, ts.URL+"/v1/tasks", body)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("task %d: status %d (%v)", i, resp.StatusCode, out)
+		}
+	}
+
+	// First batch: 3 valid assignments (the paper's Figure 1(c)).
+	resp, out := postJSON(t, ts.URL+"/v1/tick?t=0", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick status %d (%v)", resp.StatusCode, out)
+	}
+	if got := len(out["assigned"].([]any)); got != 3 {
+		t.Fatalf("batch 0 assigned %d, want 3", got)
+	}
+
+	// Stats reflect it.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.AssignedTasks != 3 || st.Workers != 3 || st.Tasks != 5 || st.Batches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Later batch: freed workers take the remaining chain tasks.
+	if resp, _ := postJSON(t, ts.URL+"/v1/tick?t=5", ""); resp.StatusCode != http.StatusOK {
+		t.Fatal("second tick failed")
+	}
+	aresp, err := http.Get(ts.URL + "/v1/assignments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assigned struct {
+		Size  int `json:"size"`
+		Pairs []struct {
+			Worker int `json:"worker"`
+			Task   int `json:"task"`
+		} `json:"pairs"`
+	}
+	if err := json.NewDecoder(aresp.Body).Decode(&assigned); err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if assigned.Size < 4 {
+		t.Errorf("total assigned after two ticks = %d, want ≥ 4", assigned.Size)
+	}
+
+	// Instance archive round-trips and the SVG renders.
+	iresp, err := http.Get(ts.URL + "/v1/instance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(iresp.Body)
+	iresp.Body.Close()
+	if !strings.Contains(buf.String(), `"version"`) {
+		t.Error("instance endpoint not dataset JSON")
+	}
+	vresp, err := http.Get(ts.URL + "/v1/svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(vresp.Body)
+	vresp.Body.Close()
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Error("svg endpoint not SVG")
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		path, body string
+		status     int
+	}{
+		{"/v1/workers", `not json`, http.StatusBadRequest},
+		{"/v1/workers", `{"skills":[]}`, http.StatusUnprocessableEntity},
+		{"/v1/workers", `{"skills":[0],"wait":-1}`, http.StatusUnprocessableEntity},
+		{"/v1/workers", `{"skills":[0],"bogus":1}`, http.StatusBadRequest},
+		{"/v1/tasks", `{"requires":0,"deps":[99]}`, http.StatusUnprocessableEntity},
+		{"/v1/tasks", `{"requires":0,"wait":-1}`, http.StatusUnprocessableEntity},
+		{"/v1/tick", ``, http.StatusBadRequest}, // missing ?t
+	}
+	for _, tc := range cases {
+		resp, out := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("POST %s %q: status %d, want %d (%v)", tc.path, tc.body, resp.StatusCode, tc.status, out)
+		}
+	}
+}
+
+func TestTickTimeMonotonicity(t *testing.T) {
+	p, err := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Tick(5); err == nil {
+		t.Error("time went backwards without error")
+	}
+	if _, err := p.Tick(10); err != nil {
+		t.Error("equal time should be allowed")
+	}
+}
+
+func TestPlatformDependencyClosureOnAdd(t *testing.T) {
+	p, err := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, err := p.AddTask(model.Task{Wait: 10, Requires: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := p.AddTask(model.Task{Wait: 10, Requires: 0, Deps: []model.TaskID{t0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t2 lists only t1; the platform must close it to {t0, t1}.
+	t2, err := p.AddTask(model.Task{Wait: 10, Requires: 0, Deps: []model.TaskID{t1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Instance()
+	if got := len(in.Tasks[t2].Deps); got != 2 {
+		t.Errorf("closed deps = %v", in.Tasks[t2].Deps)
+	}
+	if _, err := p.AddTask(model.Task{Wait: 10, Requires: 0, Deps: []model.TaskID{t0, t0}}); err == nil {
+		t.Error("duplicate dependency accepted")
+	}
+}
+
+func TestPlatformWasteAccounting(t *testing.T) {
+	// Closest baseline on Example 1: one tick wastes two dispatches.
+	p, err := NewPlatform(Config{Allocator: core.NewClosest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := model.Example1()
+	for _, w := range ex.Workers {
+		if _, err := p.AddWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tk := range ex.Tasks {
+		if _, err := p.AddTask(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := p.Tick(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Assigned) != 1 || out.Wasted != 2 {
+		t.Errorf("outcome = %+v, want 1 assigned / 2 wasted", out)
+	}
+	st := p.Snapshot()
+	if st.WastedPairs != 2 || st.AssignedTasks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPlatformConfigValidation(t *testing.T) {
+	if _, err := NewPlatform(Config{}); err == nil {
+		t.Error("missing allocator accepted")
+	}
+	if _, err := NewPlatform(Config{Allocator: core.NewGreedy(), ServiceTime: -1}); err == nil {
+		t.Error("negative service time accepted")
+	}
+}
+
+func TestPlatformInstanceIsDeepCopy(t *testing.T) {
+	p, err := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddWorker(model.Worker{Loc: geo.Pt(1, 1), Wait: 5, Velocity: 1, MaxDist: 1, Skills: model.NewSkillSet(0)}); err != nil {
+		t.Fatal(err)
+	}
+	in := p.Instance()
+	in.Workers[0].Skills.Add(99)
+	if p.Instance().Workers[0].Skills.Has(99) {
+		t.Error("Instance() shares skill storage with the platform")
+	}
+}

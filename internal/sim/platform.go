@@ -1,0 +1,301 @@
+// Package sim implements the dependency-aware spatial-crowdsourcing
+// platform: workers and tasks appear over time, and every BatchInterval time
+// units the platform runs an allocator over the currently active workers and
+// pending tasks (the paper's batch process, Section II-D). Assigned workers
+// travel to their tasks, conduct them once the dependencies have finished,
+// and become available again; tasks whose deadline passes unassigned expire.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dasc/internal/core"
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Allocator decides each batch's assignment. Required.
+	Allocator core.Allocator
+	// BatchInterval is the time between batch processes; the paper suggests
+	// e.g. 5 seconds. Zero means 5.
+	BatchInterval float64
+	// ServiceTime is how long conducting a task takes once the worker is on
+	// site and the dependencies are finished. The paper constrains only the
+	// service *start*, so the default is 0 (instantaneous).
+	ServiceTime float64
+	// ReuseWorkers lets a worker take another task after finishing one, as
+	// long as the current time is within its availability window
+	// (Definition 1: after finishing, the worker "becomes available
+	// again"). Default true; set DisableReuse to turn it off.
+	DisableReuse bool
+	// MaxBatches caps the batch loop as a safety net; zero derives it from
+	// the time horizon.
+	MaxBatches int
+	// CollectDelays records each completed task's start delay (service
+	// start − task appearance) in Result.Delays for percentile analysis.
+	CollectDelays bool
+	// OnBatch, when non-nil, observes every batch result.
+	OnBatch func(BatchResult)
+}
+
+// BatchResult is what one batch process produced.
+type BatchResult struct {
+	Index      int     // batch number, from 0
+	Time       float64 // batch timestamp
+	Workers    int     // active workers presented to the allocator
+	Tasks      int     // pending tasks presented to the allocator
+	Assignment *model.Assignment
+}
+
+// Result aggregates a whole run.
+type Result struct {
+	Batches       int
+	AssignedPairs int // Σ_b (valid pairs of M_b) — the paper's total score
+	// AssignedWeight is the weighted objective Σ w_t over valid pairs; it
+	// equals AssignedPairs under the paper's unit weights.
+	AssignedWeight float64
+	WastedPairs    int     // dependency-violating pairs executed by oblivious allocators
+	CompletedTasks int     // tasks actually conducted (= AssignedPairs)
+	ExpiredTasks   int     // tasks whose deadline passed unassigned
+	TotalTravel    float64 // distance covered by all workers
+	// WorkerBusyTime sums, over executed dispatches, the span from
+	// assignment to task completion (travel + dependency wait + service) —
+	// divide by worker count and horizon for a utilisation figure.
+	WorkerBusyTime float64
+	// MeanStartDelay is the mean of (service start − task appearance) over
+	// completed tasks; NaN when nothing completed.
+	MeanStartDelay float64
+	// Delays holds every completed task's start delay when
+	// Config.CollectDelays is set; nil otherwise.
+	Delays []float64
+	// WorkerAssignments[w] counts tasks worker w conducted.
+	WorkerAssignments map[model.WorkerID]int
+}
+
+// Platform simulates one instance under one configuration.
+type Platform struct {
+	cfg Config
+	in  *model.Instance
+}
+
+// New creates a platform for the instance. The instance must validate.
+func New(in *model.Instance, cfg Config) (*Platform, error) {
+	if cfg.Allocator == nil {
+		return nil, errors.New("sim: Config.Allocator is required")
+	}
+	if cfg.BatchInterval <= 0 {
+		cfg.BatchInterval = 5
+	}
+	if cfg.ServiceTime < 0 {
+		return nil, fmt.Errorf("sim: negative service time %v", cfg.ServiceTime)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &Platform{cfg: cfg, in: in}, nil
+}
+
+// Run executes the simulation to completion and returns aggregate metrics.
+func (p *Platform) Run() (*Result, error) {
+	in, cfg := p.in, p.cfg
+	dist := in.Distance()
+
+	type wstate struct {
+		locX, locY float64
+		busyUntil  float64
+		distUsed   float64
+	}
+	ws := make([]wstate, len(in.Workers))
+	for i := range in.Workers {
+		ws[i] = wstate{locX: in.Workers[i].Loc.X, locY: in.Workers[i].Loc.Y}
+	}
+
+	assigned := make(map[model.TaskID]bool)    // ever validly assigned (dependency obligation met)
+	botched := make(map[model.TaskID]bool)     // consumed by an invalid assignment
+	finishAt := make(map[model.TaskID]float64) // completion time per assigned task
+	res := &Result{WorkerAssignments: map[model.WorkerID]int{}}
+
+	// Time horizon: nothing can happen after every worker window and every
+	// task deadline has passed.
+	horizon := 0.0
+	start := math.Inf(1)
+	for i := range in.Workers {
+		horizon = math.Max(horizon, in.Workers[i].Expiry())
+		start = math.Min(start, in.Workers[i].Start)
+	}
+	for i := range in.Tasks {
+		horizon = math.Max(horizon, in.Tasks[i].Deadline())
+		start = math.Min(start, in.Tasks[i].Start)
+	}
+	if math.IsInf(start, 1) { // empty instance
+		return res, nil
+	}
+	maxBatches := cfg.MaxBatches
+	if maxBatches <= 0 {
+		maxBatches = int((horizon-start)/cfg.BatchInterval) + 2
+	}
+
+	var delaySum float64
+	var delayCount int
+
+	for batch := 0; batch < maxBatches; batch++ {
+		now := start + float64(batch)*cfg.BatchInterval
+
+		// Active workers: appeared, within window, not busy.
+		var bws []core.BatchWorker
+		var wIdx []int
+		for i := range in.Workers {
+			w := &in.Workers[i]
+			if w.Start > now || now > w.Expiry() || ws[i].busyUntil > now {
+				continue
+			}
+			if cfg.DisableReuse && res.WorkerAssignments[w.ID] > 0 {
+				continue
+			}
+			bws = append(bws, core.BatchWorker{
+				W:          w,
+				Loc:        geo.Pt(ws[i].locX, ws[i].locY),
+				ReadyAt:    now,
+				DistBudget: w.MaxDist - ws[i].distUsed,
+			})
+			wIdx = append(wIdx, i)
+		}
+		// Pending tasks: appeared, deadline not passed, never assigned.
+		var tasks []*model.Task
+		for i := range in.Tasks {
+			t := &in.Tasks[i]
+			if assigned[t.ID] || botched[t.ID] || t.Start > now || t.Deadline() < now {
+				continue
+			}
+			tasks = append(tasks, t)
+		}
+
+		if len(bws) > 0 && len(tasks) > 0 {
+			satisfied := make(map[model.TaskID]bool, len(assigned))
+			for id := range assigned {
+				satisfied[id] = true
+			}
+			b := core.NewBatch(in, bws, tasks, satisfied)
+			m := cfg.Allocator.Assign(b)
+			// Allocators may return raw assignments (the paper's Closest and
+			// Random baselines ignore dependencies); only the valid subset
+			// scores and satisfies dependency obligations. Invalid pairs
+			// still execute — the worker travels and the task is consumed —
+			// they are simply wasted, exactly the penalty the paper charges
+			// the oblivious baselines.
+			valid := core.DependencyFixpoint(b, m)
+			if cfg.OnBatch != nil {
+				cfg.OnBatch(BatchResult{
+					Index: batch, Time: now,
+					Workers: len(bws), Tasks: len(tasks),
+					Assignment: valid,
+				})
+			}
+			res.AssignedPairs += valid.Size()
+			res.AssignedWeight += valid.WeightSum(in)
+			res.WastedPairs += m.Size() - valid.Size()
+
+			// Mark valid pairs as assigned (the dependency obligation is met
+			// at assignment time, Definition 3 constraint 4) and botched
+			// tasks as consumed without satisfying anything.
+			for _, pair := range valid.Pairs {
+				assigned[pair.Task] = true
+			}
+			for _, pair := range m.Pairs {
+				botched[pair.Task] = true // valid ones are overridden below
+			}
+			for _, pair := range valid.Pairs {
+				delete(botched, pair.Task)
+			}
+			order := dependencyOrder(in, m)
+			widOf := make(map[model.WorkerID]int, len(wIdx))
+			for bi, i := range wIdx {
+				widOf[in.Workers[i].ID] = bi
+			}
+			validTask := valid.TaskSet()
+			for _, pair := range order {
+				bi := widOf[pair.Worker]
+				i := wIdx[bi]
+				w := &in.Workers[i]
+				t := in.Task(pair.Task)
+				from := geo.Pt(ws[i].locX, ws[i].locY)
+				d := dist(from, t.Loc)
+				travel := w.TravelTime(from, t.Loc, dist)
+				arrive := math.Max(now, t.Start) + travel
+				serviceStart := arrive
+				for _, dep := range t.Deps {
+					if fa, ok := finishAt[dep]; ok && fa > serviceStart {
+						serviceStart = fa
+					}
+				}
+				finish := serviceStart + cfg.ServiceTime
+				ws[i].locX, ws[i].locY = t.Loc.X, t.Loc.Y
+				ws[i].distUsed += d
+				ws[i].busyUntil = finish
+				res.TotalTravel += d
+				res.WorkerBusyTime += finish - now
+				res.WorkerAssignments[w.ID]++
+				if validTask[pair.Task] {
+					finishAt[t.ID] = finish
+					res.CompletedTasks++
+					delaySum += serviceStart - t.Start
+					delayCount++
+					if cfg.CollectDelays {
+						res.Delays = append(res.Delays, serviceStart-t.Start)
+					}
+				}
+			}
+		}
+		res.Batches++
+		if now >= horizon {
+			break
+		}
+	}
+
+	for i := range in.Tasks {
+		id := in.Tasks[i].ID
+		if !assigned[id] && !botched[id] {
+			res.ExpiredTasks++
+		}
+	}
+	if delayCount > 0 {
+		res.MeanStartDelay = delaySum / float64(delayCount)
+	} else {
+		res.MeanStartDelay = math.NaN()
+	}
+	return res, nil
+}
+
+// dependencyOrder returns the assignment's pairs ordered so that every task
+// appears after its in-assignment dependencies, enabling single-pass finish
+// time computation. The assignment's dependency consistency guarantees the
+// order exists.
+func dependencyOrder(in *model.Instance, m *model.Assignment) []model.Pair {
+	byTask := make(map[model.TaskID]model.Pair, len(m.Pairs))
+	for _, p := range m.Pairs {
+		byTask[p.Task] = p
+	}
+	visited := make(map[model.TaskID]bool, len(m.Pairs))
+	out := make([]model.Pair, 0, len(m.Pairs))
+	var visit func(id model.TaskID)
+	visit = func(id model.TaskID) {
+		if visited[id] {
+			return
+		}
+		visited[id] = true
+		for _, dep := range in.Task(id).Deps {
+			if _, ok := byTask[dep]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, byTask[id])
+	}
+	for _, p := range m.Pairs {
+		visit(p.Task)
+	}
+	return out
+}

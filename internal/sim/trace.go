@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSVTrace returns an OnBatch callback that streams one CSV row per batch to
+// w — the long-form log an operator feeds into a spreadsheet or notebook.
+// Call WriteCSVHeader first. Write errors are reported through errSink
+// (which may be nil to ignore them), since the batch loop cannot abort on a
+// logging failure.
+func CSVTrace(w io.Writer, errSink func(error)) func(BatchResult) {
+	return func(br BatchResult) {
+		_, err := fmt.Fprintf(w, "%d,%.4f,%d,%d,%d\n",
+			br.Index, br.Time, br.Workers, br.Tasks, br.Assignment.Size())
+		if err != nil && errSink != nil {
+			errSink(err)
+		}
+	}
+}
+
+// WriteCSVHeader writes the header row matching CSVTrace's columns.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "batch,time,active_workers,pending_tasks,assigned")
+	return err
+}

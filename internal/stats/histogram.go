@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over a closed value range, used by
+// the harness to summarise per-batch score and latency distributions.
+// Values outside the range clamp into the edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	counts  []int
+	total   int
+	sum     float64
+	underHi bool
+}
+
+// NewHistogram creates a histogram with the given bucket count over
+// [lo, hi]. Panics on a non-positive bucket count or an empty range, which
+// indicate caller bugs.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if !(hi > lo) {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += v
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Mean returns the mean of the observations (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bucket returns the [lo, hi) bounds and count of bucket i.
+func (h *Histogram) Bucket(i int) (lo, hi float64, count int) {
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + float64(i)*width, h.lo + float64(i+1)*width, h.counts[i]
+}
+
+// Buckets returns the bucket count.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) assuming uniform
+// density within buckets; NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.lo
+	}
+	if q >= 1 {
+		return h.hi
+	}
+	target := q * float64(h.total)
+	acc := 0.0
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.lo + (float64(i)+frac)*width
+		}
+		acc = next
+	}
+	return h.hi
+}
+
+// Render writes a fixed-width ASCII bar chart, one line per bucket.
+func (h *Histogram) Render(w io.Writer, barWidth int) error {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i := range h.counts {
+		lo, hi, c := h.Bucket(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		if _, err := fmt.Fprintf(w, "[%8.3g, %8.3g) %6d %s\n",
+			lo, hi, c, strings.Repeat("█", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Package viz renders DA-SC instances and assignments for inspection:
+// Graphviz DOT for task dependency structure and standalone SVG for the
+// spatial layout. Both are plain-text emitters with no external
+// dependencies; the dasc-gen and dasc-run tools expose them behind flags.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dasc/internal/model"
+)
+
+// DotOptions configures dependency-graph rendering.
+type DotOptions struct {
+	// Reduce renders the transitive reduction instead of the (closed)
+	// dependency sets — far fewer edges, same reachability.
+	Reduce bool
+	// Assignment, when non-nil, colours assigned tasks.
+	Assignment *model.Assignment
+}
+
+// WriteDot emits the instance's task dependency graph as Graphviz DOT.
+// Edges point from a task to what it depends on.
+func WriteDot(w io.Writer, in *model.Instance, opt DotOptions) error {
+	g, err := in.DepGraph()
+	if err != nil {
+		return err
+	}
+	if opt.Reduce {
+		g, err = g.TransitiveReduction()
+		if err != nil {
+			return err
+		}
+	}
+	assigned := map[model.TaskID]model.WorkerID{}
+	if opt.Assignment != nil {
+		for _, p := range opt.Assignment.Pairs {
+			assigned[p.Task] = p.Worker
+		}
+	}
+	if _, err := fmt.Fprintln(w, "digraph dasc {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=BT;")
+	fmt.Fprintln(w, "  node [shape=circle fontsize=10];")
+	for i := range in.Tasks {
+		t := &in.Tasks[i]
+		label := fmt.Sprintf("t%d\\nψ%d", t.ID, t.Requires)
+		if wid, ok := assigned[t.ID]; ok {
+			fmt.Fprintf(w, "  t%d [label=\"%s\\nw%d\" style=filled fillcolor=palegreen];\n", t.ID, label, wid)
+		} else {
+			fmt.Fprintf(w, "  t%d [label=\"%s\"];\n", t.ID, label)
+		}
+	}
+	for u := 0; u < g.Len(); u++ {
+		deps := append([]int32(nil), g.Deps(u)...)
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+		for _, v := range deps {
+			fmt.Fprintf(w, "  t%d -> t%d;\n", u, v)
+		}
+	}
+	_, err = fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,126 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// SVGOptions configures spatial rendering.
+type SVGOptions struct {
+	// Width of the output in pixels; height follows the instance's aspect
+	// ratio. Zero means 800.
+	Width int
+	// Assignment, when non-nil, draws worker→task links.
+	Assignment *model.Assignment
+	// DrawDeps draws dependency arrows between task positions.
+	DrawDeps bool
+}
+
+// WriteSVG renders the instance's spatial layout as a standalone SVG:
+// workers as blue squares, tasks as orange circles (green when assigned),
+// with optional assignment links and dependency arrows.
+func WriteSVG(w io.Writer, in *model.Instance, opt SVGOptions) error {
+	width := opt.Width
+	if width <= 0 {
+		width = 800
+	}
+	box := boundsOf(in)
+	if box.Width() <= 0 {
+		box.Max.X = box.Min.X + 1
+	}
+	if box.Height() <= 0 {
+		box.Max.Y = box.Min.Y + 1
+	}
+	box = box.Expand(0.05 * box.Diagonal())
+	height := int(float64(width) * box.Height() / box.Width())
+	sx := func(p geo.Point) float64 { return (p.X - box.Min.X) / box.Width() * float64(width) }
+	// SVG's y axis grows downward; flip so north is up.
+	sy := func(p geo.Point) float64 { return (1 - (p.Y-box.Min.Y)/box.Height()) * float64(height) }
+	r := float64(width) / 160
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	assignedTo := map[model.TaskID]model.WorkerID{}
+	if opt.Assignment != nil {
+		for _, p := range opt.Assignment.Pairs {
+			assignedTo[p.Task] = p.Worker
+		}
+	}
+
+	if opt.DrawDeps {
+		for i := range in.Tasks {
+			t := &in.Tasks[i]
+			for _, d := range t.Deps {
+				dep := in.Task(d)
+				fmt.Fprintf(w,
+					`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-dasharray="4 3"/>`+"\n",
+					sx(t.Loc), sy(t.Loc), sx(dep.Loc), sy(dep.Loc))
+			}
+		}
+	}
+	for tid, wid := range assignedTo {
+		t, wk := in.Task(tid), in.Worker(wid)
+		if t == nil || wk == nil {
+			continue
+		}
+		fmt.Fprintf(w,
+			`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="crimson" stroke-width="1.5"/>`+"\n",
+			sx(wk.Loc), sy(wk.Loc), sx(t.Loc), sy(t.Loc))
+	}
+	for i := range in.Tasks {
+		t := &in.Tasks[i]
+		fill := "orange"
+		if _, ok := assignedTo[t.ID]; ok {
+			fill = "mediumseagreen"
+		}
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"><title>t%d ψ%d deps=%v</title></circle>`+"\n",
+			sx(t.Loc), sy(t.Loc), r, fill, t.ID, t.Requires, t.Deps)
+	}
+	for i := range in.Workers {
+		wk := &in.Workers[i]
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="steelblue"><title>w%d %v</title></rect>`+"\n",
+			sx(wk.Loc)-r*0.8, sy(wk.Loc)-r*0.8, r*1.6, r*1.6, wk.ID, wk.Skills)
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// boundsOf returns the bounding box of all locations (zero box when empty).
+func boundsOf(in *model.Instance) geo.BBox {
+	var box geo.BBox
+	first := true
+	add := func(p geo.Point) {
+		if first {
+			box = geo.BBox{Min: p, Max: p}
+			first = false
+			return
+		}
+		if p.X < box.Min.X {
+			box.Min.X = p.X
+		}
+		if p.Y < box.Min.Y {
+			box.Min.Y = p.Y
+		}
+		if p.X > box.Max.X {
+			box.Max.X = p.X
+		}
+		if p.Y > box.Max.Y {
+			box.Max.Y = p.Y
+		}
+	}
+	for i := range in.Workers {
+		add(in.Workers[i].Loc)
+	}
+	for i := range in.Tasks {
+		add(in.Tasks[i].Loc)
+	}
+	return box
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/model"
+)
+
+func TestWriteDotExample1(t *testing.T) {
+	in := model.Example1()
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, in, DotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph dasc {",
+		"t1 -> t0;", // t2 depends on t1 (0-indexed)
+		"t2 -> t0;", // closed set keeps the redundant edge
+		"t2 -> t1;",
+		"t4 -> t3;",
+		`t0 [label="t0\nψ0"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotReduced(t *testing.T) {
+	in := model.Example1()
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, in, DotOptions{Reduce: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "t2 -> t0;") {
+		t.Error("transitive reduction kept the redundant edge t2→t0")
+	}
+	if !strings.Contains(out, "t2 -> t1;") || !strings.Contains(out, "t1 -> t0;") {
+		t.Error("reduction dropped required edges")
+	}
+}
+
+func TestWriteDotWithAssignment(t *testing.T) {
+	in := model.Example1()
+	b := core.NewStaticBatch(in)
+	a := core.NewGreedy().Assign(b)
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, in, DotOptions{Assignment: a}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fillcolor=palegreen") {
+		t.Error("assigned tasks not highlighted")
+	}
+}
+
+func TestWriteDotCyclic(t *testing.T) {
+	in := model.Example1()
+	in.Tasks[0].Deps = []model.TaskID{2}
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, in, DotOptions{Reduce: true}); err == nil {
+		t.Error("cyclic instance accepted")
+	}
+}
+
+func TestWriteSVGExample1(t *testing.T) {
+	in := model.Example1()
+	b := core.NewStaticBatch(in)
+	a := core.NewGreedy().Assign(b)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, in, SVGOptions{Assignment: a, DrawDeps: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a standalone SVG")
+	}
+	if got := strings.Count(out, "<circle"); got != 5 {
+		t.Errorf("task circles = %d, want 5", got)
+	}
+	// 1 background rect + 3 worker squares.
+	if got := strings.Count(out, "<rect"); got != 4 {
+		t.Errorf("rects = %d, want 4", got)
+	}
+	if got := strings.Count(out, `stroke="crimson"`); got != a.Size() {
+		t.Errorf("assignment links = %d, want %d", got, a.Size())
+	}
+	if !strings.Contains(out, "mediumseagreen") {
+		t.Error("assigned tasks not coloured")
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("dependency arrows missing")
+	}
+}
+
+func TestWriteSVGDegenerate(t *testing.T) {
+	// Single colocated worker and task: zero-area bounds must not divide by
+	// zero.
+	in := &model.Instance{
+		Workers: []model.Worker{{ID: 0, Start: 0, Wait: 1, Velocity: 1, MaxDist: 1, Skills: model.NewSkillSet(0)}},
+		Tasks:   []model.Task{{ID: 0, Start: 0, Wait: 1, Requires: 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, in, SVGOptions{Width: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no SVG emitted")
+	}
+}
