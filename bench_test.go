@@ -212,6 +212,26 @@ func BenchmarkCandidateLinearScan(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchIndexBuild and BenchmarkBatchStrategyScan compare the batch
+// candidate engine against the brute-force strategy-set scan it replaced, on
+// the 500×500 micro-benchmark instance. The full-scale comparison (fig10's
+// 5K×8K point) lives in internal/bench.
+func BenchmarkBatchIndexBuild(b *testing.B) {
+	in := benchInstance(b, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NewStaticBatch(in).Index()
+	}
+}
+
+func BenchmarkBatchStrategyScan(b *testing.B) {
+	in := benchInstance(b, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NewStaticBatch(in).ScanStrategySets()
+	}
+}
+
 func BenchmarkSimulateGreedy(b *testing.B) {
 	in := benchInstance(b, 0.05)
 	b.ResetTimer()

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/model"
+)
+
+// largestRegistryInstance generates fig10's maximum sweep point — the
+// heaviest workload in the registry (5K workers / 8K tasks, Table V bold
+// defaults otherwise). The candidate-engine benchmarks below measure strategy
+// set + candidate list construction on this batch, indexed vs brute force:
+//
+//	go test ./internal/bench -bench BenchmarkBatchCandidates -benchtime 3x
+func largestRegistryInstance(b *testing.B) *model.Instance {
+	b.Helper()
+	w := DefaultSyntheticWorkload()
+	w.Syn.Tasks = 8000
+	in, err := w.Generate(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkBatchCandidatesIndexed builds the BatchIndex: strategy sets,
+// per-task candidate lists, and the travel-time memo in one pruned pass.
+func BenchmarkBatchCandidatesIndexed(b *testing.B) {
+	in := largestRegistryInstance(b)
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		batch := core.NewStaticBatch(in)
+		pairs = batch.Index().FeasiblePairs()
+	}
+	b.ReportMetric(float64(pairs), "feasible_pairs")
+}
+
+// BenchmarkBatchCandidatesScanStrategy is the brute-force baseline for the
+// worker side alone: every worker × every task feasibility scan.
+func BenchmarkBatchCandidatesScanStrategy(b *testing.B) {
+	in := largestRegistryInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := core.NewStaticBatch(in)
+		batch.ScanStrategySets()
+	}
+}
+
+// BenchmarkBatchCandidatesScanFull is what allocators actually consumed
+// before the index: the strategy-set scan plus a per-task candidate scan —
+// two full O(n·m) passes per batch.
+func BenchmarkBatchCandidatesScanFull(b *testing.B) {
+	in := largestRegistryInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := core.NewStaticBatch(in)
+		batch.ScanStrategySets()
+		for _, t := range batch.Tasks {
+			batch.ScanCandidateWorkers(t)
+		}
+	}
+}
+
+// TestBatchCandidatesBenchmarkAgree pins the benchmark pair to the same
+// answer, so the speedup numbers always compare equal work.
+func TestBatchCandidatesBenchmarkAgree(t *testing.T) {
+	w := DefaultSyntheticWorkload()
+	in, err := w.Generate(0.02, 1) // 100×100: cheap but non-trivial
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := core.NewStaticBatch(in)
+	indexed := batch.StrategySets()
+	scanned := batch.ScanStrategySets()
+	for wi := range indexed {
+		if len(indexed[wi]) != len(scanned[wi]) {
+			t.Fatalf("worker %d: index %v != scan %v", wi, indexed[wi], scanned[wi])
+		}
+		for k := range indexed[wi] {
+			if indexed[wi][k] != scanned[wi][k] {
+				t.Fatalf("worker %d: index %v != scan %v", wi, indexed[wi], scanned[wi])
+			}
+		}
+	}
+}

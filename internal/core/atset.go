@@ -18,19 +18,32 @@ type atSet struct {
 // all satisfiable this batch (Satisfied or co-pending); anchors with an
 // unreachable dependency are skipped — they cannot be validly assigned in
 // batch b no matter what.
+//
+// Members are deduplicated: a task listing the same dependency twice (legal
+// in hand-built instances that bypass Instance.Validate) must not
+// double-count the set's weight or make staff demand two distinct workers
+// for one task — that would turn a staffable set spuriously infeasible.
 func atSets(b *Batch) []*atSet {
 	var sets []*atSet
+	seen := make(map[int]bool)
 	for ti, t := range b.Tasks {
 		if !b.DepSatisfiable(t) {
 			continue
 		}
 		s := &atSet{anchor: ti}
+		clear(seen)
+		seen[ti] = true
 		s.members = append(s.members, ti)
 		for _, d := range t.Deps {
 			if b.Satisfied[d] {
 				continue
 			}
-			s.members = append(s.members, b.TaskIndex(d))
+			di := b.TaskIndex(d)
+			if seen[di] {
+				continue
+			}
+			seen[di] = true
+			s.members = append(s.members, di)
 		}
 		s.alive = len(s.members)
 		for _, ti := range s.members {

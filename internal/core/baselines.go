@@ -24,16 +24,20 @@ func (c *Closest) Name() string { return NameClosest }
 func (c *Closest) Assign(b *Batch) *model.Assignment {
 	out := model.NewAssignment()
 	taken := make([]bool, len(b.Tasks))
+	idx := b.Index()
 	for wi := range b.Workers {
 		best := -1
 		bestD := math.Inf(1)
-		for ti, t := range b.Tasks {
-			if taken[ti] || !b.Feasible(wi, t) {
+		// The index's strategy set is exactly the feasible tasks in
+		// ascending order, so the scan's iteration order (and tie-breaks)
+		// are preserved.
+		for _, ti := range idx.StrategySet(wi) {
+			if taken[ti] {
 				continue
 			}
-			if d := b.dist(b.Workers[wi].Loc, t.Loc); d < bestD {
+			if d := b.dist(b.Workers[wi].Loc, b.Tasks[ti].Loc); d < bestD {
 				bestD = d
-				best = ti
+				best = int(ti)
 			}
 		}
 		if best >= 0 {
@@ -63,12 +67,13 @@ func (r *Random) Assign(b *Batch) *model.Assignment {
 	rng := newRNG(r.seed)
 	out := model.NewAssignment()
 	taken := make([]bool, len(b.Tasks))
+	idx := b.Index()
 	var avail []int
 	for wi := range b.Workers {
 		avail = avail[:0]
-		for ti, t := range b.Tasks {
-			if !taken[ti] && b.Feasible(wi, t) {
-				avail = append(avail, ti)
+		for _, ti := range idx.StrategySet(wi) {
+			if !taken[ti] {
+				avail = append(avail, int(ti))
 			}
 		}
 		if len(avail) == 0 {

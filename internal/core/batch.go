@@ -14,6 +14,7 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"dasc/internal/geo"
 	"dasc/internal/model"
@@ -43,6 +44,9 @@ type Batch struct {
 
 	dist    geo.DistanceFunc
 	pending map[model.TaskID]int // task ID -> index into Tasks
+
+	idxOnce sync.Once
+	idx     *BatchIndex
 }
 
 // NewStaticBatch wraps a whole instance as a single batch, the setting of
@@ -111,9 +115,38 @@ func (b *Batch) TravelCost(wi int, t *model.Task) float64 {
 	return bw.W.TravelTime(bw.Loc, t.Loc, b.dist)
 }
 
+// Index returns the batch's candidate engine, building it on first use. The
+// build is parallel internally but the returned index is immutable, so every
+// allocator stage reads it without synchronisation.
+func (b *Batch) Index() *BatchIndex {
+	b.idxOnce.Do(func() { b.idx = newBatchIndex(b) })
+	return b.idx
+}
+
 // StrategySets computes S_w for every batch worker: the pending tasks the
-// worker can feasibly take, as indexes into b.Tasks, ascending.
+// worker can feasibly take, as indexes into b.Tasks, ascending. Served from
+// the candidate engine; ScanStrategySets is the brute-force cross-check.
 func (b *Batch) StrategySets() [][]int {
+	idx := b.Index()
+	out := make([][]int, len(b.Workers))
+	for wi := range b.Workers {
+		set := idx.StrategySet(wi)
+		if len(set) == 0 {
+			continue
+		}
+		s := make([]int, len(set))
+		for i, ti := range set {
+			s[i] = int(ti)
+		}
+		out[wi] = s
+	}
+	return out
+}
+
+// ScanStrategySets computes the strategy sets by the original full
+// worker×task feasibility scan. It is the differential cross-check (and
+// benchmark baseline) for the indexed path; both must agree exactly.
+func (b *Batch) ScanStrategySets() [][]int {
 	out := make([][]int, len(b.Workers))
 	for wi := range b.Workers {
 		var set []int
@@ -128,8 +161,27 @@ func (b *Batch) StrategySets() [][]int {
 }
 
 // CandidateWorkers returns, ascending, the batch worker indexes that can
-// feasibly take task t.
+// feasibly take task t. Pending tasks are served from the candidate engine;
+// a task outside the batch falls back to the scan.
 func (b *Batch) CandidateWorkers(t *model.Task) []int {
+	ti := b.TaskIndex(t.ID)
+	if ti < 0 || b.Tasks[ti] != t {
+		return b.ScanCandidateWorkers(t)
+	}
+	set := b.Index().CandidateSet(ti)
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, len(set))
+	for i, wi := range set {
+		out[i] = int(wi)
+	}
+	return out
+}
+
+// ScanCandidateWorkers computes a task's candidate workers by the original
+// full scan — the cross-check twin of ScanStrategySets.
+func (b *Batch) ScanCandidateWorkers(t *model.Task) []int {
 	var out []int
 	for wi := range b.Workers {
 		if b.Feasible(wi, t) {

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// BatchIndex is the batch-scoped candidate engine: it computes every
+// worker's strategy set S_w and every task's candidate-worker list for one
+// batch in a single pass, replacing the O(n_b·m_b) feasibility scans that
+// every allocator round used to rebuild.
+//
+// Three ideas combine:
+//
+//   - Skill buckets: pending tasks are grouped by required skill, so a
+//     worker only ever examines tasks whose skill it holds (the per-skill
+//     inverted list of model.CandidateIndex, rebuilt over the batch's
+//     pending subset).
+//   - Spatial pruning: when the batch metric admits a Euclidean lower bound
+//     (geo.EuclideanBoundScale), a geo.GridIndex over the pending task
+//     locations answers "which tasks are within this worker's remaining
+//     distance budget" as a radius query from the worker's *current*
+//     location — the mid-simulation generalisation of the static index.
+//     Whichever of the two prunings promises the smaller candidate pool is
+//     used per worker; both finish with the exact model.FeasibleFrom
+//     predicate, so the choice never changes the result.
+//   - Travel-time memoization: the travel time of every feasible
+//     (worker, task) pair is computed once, next to the feasibility check
+//     that needed the distance anyway, and served to Greedy's Hungarian
+//     cost rows and the baselines from the index.
+//
+// Construction fans out across a runtime.NumCPU()-bounded worker pool; each
+// goroutine owns a disjoint range of per-worker result slots, so the output
+// is deterministic and identical to the serial build.
+type BatchIndex struct {
+	b *Batch
+
+	// strategies[wi] lists the pending-task indexes worker wi can feasibly
+	// take, ascending; costs[wi] holds the aligned travel times.
+	strategies [][]int32
+	costs      [][]float64
+	// candidates[ti] lists the batch worker indexes that can feasibly take
+	// pending task ti, ascending.
+	candidates [][]int32
+}
+
+// minParallelWorkers gates the goroutine fan-out: below this many batch
+// workers the pool's setup cost exceeds the scan it parallelises.
+const minParallelWorkers = 64
+
+// buildChunk is how many workers a pool goroutine claims per atomic
+// increment.
+const buildChunk = 16
+
+// newBatchIndex builds the engine for one batch with a
+// runtime.NumCPU()-bounded worker pool. Cost: O(Σ_w pool_w) exact
+// feasibility checks, where pool_w is the pruned candidate pool of worker w.
+func newBatchIndex(b *Batch) *BatchIndex {
+	return newBatchIndexN(b, runtime.NumCPU())
+}
+
+// newBatchIndexN is newBatchIndex with an explicit pool bound, so tests can
+// force the concurrent path on any machine.
+func newBatchIndexN(b *Batch, procs int) *BatchIndex {
+	idx := &BatchIndex{
+		b:          b,
+		strategies: make([][]int32, len(b.Workers)),
+		costs:      make([][]float64, len(b.Workers)),
+		candidates: make([][]int32, len(b.Tasks)),
+	}
+	if len(b.Workers) == 0 || len(b.Tasks) == 0 {
+		return idx
+	}
+
+	// Skill buckets over the pending tasks. Each task has exactly one
+	// required skill, so the buckets partition the batch.
+	bySkill := make(map[model.Skill][]int32)
+	for ti, t := range b.Tasks {
+		bySkill[t.Requires] = append(bySkill[t.Requires], int32(ti))
+	}
+
+	// Spatial grid over the pending task locations, when the metric allows
+	// Euclidean pruning. boxScale converts a metric radius into a Euclidean
+	// one; gridDensity estimates how many tasks an average unit-area disc
+	// would return, for the per-worker pruning choice.
+	var grid *geo.GridIndex
+	var boxScale, gridDensity float64
+	if scale, ok := geo.EuclideanBoundScale(b.In.Dist); ok {
+		box := pendingBBox(b)
+		grid = geo.NewGridIndex(box, len(b.Tasks)+1)
+		for ti, t := range b.Tasks {
+			grid.Insert(ti, t.Loc)
+		}
+		boxScale = scale
+		area := box.Width() * box.Height()
+		if area <= 0 {
+			area = 1e-18
+		}
+		gridDensity = float64(len(b.Tasks)) / area
+	}
+
+	build := func(wi int, scratch []int) []int {
+		bw := &b.Workers[wi]
+		var set []int32
+		var costs []float64
+		appendFeasible := func(ti int32) {
+			t := b.Tasks[ti]
+			if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
+				set = append(set, ti)
+				costs = append(costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
+			}
+		}
+		// Size of the skill-bucket pool for this worker.
+		skillPool := 0
+		for _, sk := range bw.W.Skills.Skills() {
+			skillPool += len(bySkill[sk])
+		}
+		// Expected size of the radius-query pool: disc area × task density,
+		// capped at the batch size.
+		useGrid := false
+		if grid != nil {
+			r := boxScale * (bw.DistBudget + model.DistEps)
+			discPool := math.Pi * r * r * gridDensity
+			if discPool > float64(len(b.Tasks)) {
+				discPool = float64(len(b.Tasks))
+			}
+			useGrid = discPool < float64(skillPool)
+		}
+		if useGrid {
+			scratch = grid.Within(bw.Loc, boxScale*(bw.DistBudget+model.DistEps), scratch[:0])
+			sort.Ints(scratch)
+			for _, ti := range scratch {
+				if bw.W.Skills.Has(b.Tasks[ti].Requires) {
+					appendFeasible(int32(ti))
+				}
+			}
+		} else {
+			for _, sk := range bw.W.Skills.Skills() {
+				for _, ti := range bySkill[sk] {
+					appendFeasible(ti)
+				}
+			}
+			// Buckets of different skills interleave task indexes.
+			sort.Sort(strategyByIndex{set, costs})
+		}
+		idx.strategies[wi] = set
+		idx.costs[wi] = costs
+		return scratch
+	}
+
+	nw := len(b.Workers)
+	if procs > (nw+buildChunk-1)/buildChunk {
+		procs = (nw + buildChunk - 1) / buildChunk
+	}
+	if nw < minParallelWorkers || procs <= 1 {
+		var scratch []int
+		for wi := 0; wi < nw; wi++ {
+			scratch = build(wi, scratch)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var scratch []int
+				for {
+					lo := int(next.Add(buildChunk)) - buildChunk
+					if lo >= nw {
+						return
+					}
+					hi := lo + buildChunk
+					if hi > nw {
+						hi = nw
+					}
+					for wi := lo; wi < hi; wi++ {
+						scratch = build(wi, scratch)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Invert the strategy sets into per-task candidate lists. Iterating
+	// workers ascending keeps every list ascending without a sort.
+	counts := make([]int32, len(b.Tasks))
+	for wi := range idx.strategies {
+		for _, ti := range idx.strategies[wi] {
+			counts[ti]++
+		}
+	}
+	for ti, n := range counts {
+		if n > 0 {
+			idx.candidates[ti] = make([]int32, 0, n)
+		}
+	}
+	for wi := range idx.strategies {
+		for _, ti := range idx.strategies[wi] {
+			idx.candidates[ti] = append(idx.candidates[ti], int32(wi))
+		}
+	}
+	return idx
+}
+
+// pendingBBox returns a box covering the batch's pending task locations.
+func pendingBBox(b *Batch) geo.BBox {
+	box := geo.BBox{Min: b.Tasks[0].Loc, Max: b.Tasks[0].Loc}
+	for _, t := range b.Tasks[1:] {
+		p := t.Loc
+		if p.X < box.Min.X {
+			box.Min.X = p.X
+		}
+		if p.Y < box.Min.Y {
+			box.Min.Y = p.Y
+		}
+		if p.X > box.Max.X {
+			box.Max.X = p.X
+		}
+		if p.Y > box.Max.Y {
+			box.Max.Y = p.Y
+		}
+	}
+	return box
+}
+
+// strategyByIndex sorts a strategy set ascending by task index, keeping the
+// cost slice aligned.
+type strategyByIndex struct {
+	set   []int32
+	costs []float64
+}
+
+func (s strategyByIndex) Len() int           { return len(s.set) }
+func (s strategyByIndex) Less(i, j int) bool { return s.set[i] < s.set[j] }
+func (s strategyByIndex) Swap(i, j int) {
+	s.set[i], s.set[j] = s.set[j], s.set[i]
+	s.costs[i], s.costs[j] = s.costs[j], s.costs[i]
+}
+
+// StrategySet returns worker wi's feasible pending-task indexes, ascending.
+// The slice is shared with the index — callers must not mutate it.
+func (idx *BatchIndex) StrategySet(wi int) []int32 { return idx.strategies[wi] }
+
+// CandidateSet returns the batch worker indexes that can feasibly take
+// pending task ti, ascending. The slice is shared — callers must not mutate
+// it.
+func (idx *BatchIndex) CandidateSet(ti int) []int32 { return idx.candidates[ti] }
+
+// TravelCost returns the travel time for batch worker wi to reach pending
+// task ti, served from the memo for feasible pairs and computed directly
+// otherwise.
+func (idx *BatchIndex) TravelCost(wi, ti int) float64 {
+	set := idx.strategies[wi]
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if set[mid] < int32(ti) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(set) && set[lo] == int32(ti) {
+		return idx.costs[wi][lo]
+	}
+	return idx.b.TravelCost(wi, idx.b.Tasks[ti])
+}
+
+// FeasiblePairs returns the number of feasible (worker, task) pairs the
+// index holds — the size of the bipartite candidacy graph.
+func (idx *BatchIndex) FeasiblePairs() int {
+	n := 0
+	for _, s := range idx.strategies {
+		n += len(s)
+	}
+	return n
+}

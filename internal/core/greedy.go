@@ -176,7 +176,9 @@ func (g *Greedy) staff(b *Batch, members []int, candidates [][]int, workerFree [
 
 	// Cost-optimal staffing: Hungarian over a trimmed column set — the K
 	// cheapest free candidates per task plus the HK matching's own workers,
-	// which keeps a complete matching representable.
+	// which keeps a complete matching representable. Travel times come from
+	// the batch index's memo, not fresh dist() calls.
+	idx := b.Index()
 	keep := make(map[int]bool)
 	for row := range members {
 		keep[cols[matchL[row]]] = true
@@ -189,7 +191,7 @@ func (g *Greedy) staff(b *Batch, members []int, candidates [][]int, workerFree [
 		var cs []cand
 		for _, wi := range candidates[ti] {
 			if workerFree[wi] {
-				cs = append(cs, cand{wi, b.TravelCost(wi, b.Tasks[ti])})
+				cs = append(cs, cand{wi, idx.TravelCost(wi, ti)})
 			}
 		}
 		sort.Slice(cs, func(i, j int) bool {
@@ -219,7 +221,7 @@ func (g *Greedy) staff(b *Batch, members []int, candidates [][]int, workerFree [
 		}
 		for _, wi := range candidates[ti] {
 			if workerFree[wi] {
-				cost[row][colIdx[wi]] = b.TravelCost(wi, b.Tasks[ti])
+				cost[row][colIdx[wi]] = idx.TravelCost(wi, ti)
 			}
 		}
 	}

@@ -1,5 +1,7 @@
 package core
 
+import "dasc/internal/model"
+
 // gameState holds the mutable state of one best-response run: each worker's
 // current strategy and the per-task claimant counts, plus the dependency
 // wiring needed to evaluate Equation 3 quickly.
@@ -40,10 +42,19 @@ func newGameState(b *Batch, alpha float64) *gameState {
 	for i := range gs.strategy {
 		gs.strategy[i] = -1
 	}
+	// Duplicate dependency entries (possible in instances that bypass
+	// Validate) are collapsed so |D_t| and the dependant lists stay true to
+	// the set semantics of Equation 3.
+	seen := make(map[model.TaskID]bool)
 	for ti, t := range b.Tasks {
-		gs.depCount[ti] = len(t.Deps)
 		gs.weight[ti] = t.EffWeight()
+		clear(seen)
 		for _, d := range t.Deps {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			gs.depCount[ti]++
 			if b.Satisfied[d] {
 				gs.satisfiedDeps[ti]++
 				continue

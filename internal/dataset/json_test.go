@@ -105,6 +105,24 @@ func TestReadRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestReadDedupsDuplicateDeps(t *testing.T) {
+	// A file listing the same dependency twice loads with the duplicates
+	// collapsed (first-occurrence order), rather than failing validation or
+	// inflating associative-set weights downstream.
+	body := `{"version": 1, "skill_universe": 1, "workers": [],
+	  "tasks": [
+	    {"id":0,"x":0,"y":0,"start":0,"wait":1,"requires":0},
+	    {"id":1,"x":0,"y":0,"start":0,"wait":1,"requires":0},
+	    {"id":2,"x":0,"y":0,"start":0,"wait":1,"requires":0,"deps":[1,0,1,0,1]}]}`
+	in, err := Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := in.Tasks[2].Deps, []model.TaskID{1, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("deps = %v, want %v", got, want)
+	}
+}
+
 func TestWriteAssignment(t *testing.T) {
 	a := model.NewAssignment()
 	a.Add(1, 2)

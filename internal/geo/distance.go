@@ -1,6 +1,9 @@
 package geo
 
-import "math"
+import (
+	"math"
+	"reflect"
+)
 
 // DistanceFunc measures the travel distance between two locations. The paper
 // uses Euclidean distance but notes the approaches work with any metric
@@ -24,6 +27,29 @@ func Chebyshev(a, b Point) float64 {
 
 // earthRadiusKm is the mean Earth radius used by Haversine.
 const earthRadiusKm = 6371.0088
+
+// EuclideanBoundScale reports a factor c such that Euclidean(a, b) ≤ c·f(a, b)
+// for all point pairs, enabling spatial indexes (which answer Euclidean radius
+// queries) to prune candidates for the metric f: any pair within metric
+// distance r lies inside the Euclidean disc of radius c·r. The factor is
+// recognised for the package's own metrics — Euclidean and Manhattan dominate
+// the straight line (c = 1), Chebyshev underestimates it by at most √2 — and
+// ok is false for anything else (road networks, Haversine, user closures),
+// signalling the caller to skip spatial pruning and filter exhaustively.
+func EuclideanBoundScale(f DistanceFunc) (scale float64, ok bool) {
+	if f == nil {
+		return 1, true
+	}
+	switch reflect.ValueOf(f).Pointer() {
+	case reflect.ValueOf(Euclidean).Pointer():
+		return 1, true
+	case reflect.ValueOf(Manhattan).Pointer():
+		return 1, true
+	case reflect.ValueOf(Chebyshev).Pointer():
+		return math.Sqrt2, true
+	}
+	return 0, false
+}
 
 // Haversine treats points as (longitude, latitude) in degrees and returns the
 // great-circle distance in kilometres. Useful when the Meetup-substitute

@@ -84,16 +84,36 @@ func boundingBoxOf(in *Instance) geo.BBox {
 // feasibly take (skill + deadline + distance). The result is freshly
 // allocated.
 //
-// When the distance metric is Euclidean the grid prunes by the worker's
-// maximum moving distance; for other metrics it falls back to the per-skill
-// lists (still far smaller than a full scan).
+// When the distance metric admits a Euclidean lower bound (Euclidean,
+// Manhattan, Chebyshev) the grid prunes by the worker's maximum moving
+// distance; for other metrics it falls back to the per-skill lists (still far
+// smaller than a full scan).
 func (ci *CandidateIndex) TasksFor(w *Worker) []TaskID {
+	return ci.TasksForFrom(w, w.Loc, w.Start, w.MaxDist)
+}
+
+// TasksForFrom generalises TasksFor to a worker mid-simulation: loc is the
+// worker's current location, readyAt the earliest time it can start moving,
+// and distBudget its remaining moving distance. The pruning strategy matches
+// TasksFor: a spatial radius query of distBudget (scaled per metric) when the
+// metric is Euclidean-boundable, per-skill inverted lists otherwise; every
+// survivor is confirmed with the exact FeasibleFrom predicate.
+func (ci *CandidateIndex) TasksForFrom(w *Worker, loc geo.Point, readyAt, distBudget float64) []TaskID {
 	var out []TaskID
-	for _, sk := range w.Skills.Skills() {
-		for _, tid := range ci.tasksBySkill[sk] {
-			t := ci.in.Task(tid)
-			if Feasible(w, t, ci.dist) {
-				out = append(out, tid)
+	if scale, ok := geo.EuclideanBoundScale(ci.in.Dist); ok {
+		ids := ci.taskGrid.Within(loc, scale*(distBudget+DistEps), nil)
+		for _, id := range ids {
+			t := ci.in.Task(TaskID(id))
+			if w.Skills.Has(t.Requires) && FeasibleFrom(w, loc, readyAt, distBudget, t, ci.dist) {
+				out = append(out, t.ID)
+			}
+		}
+	} else {
+		for _, sk := range w.Skills.Skills() {
+			for _, tid := range ci.tasksBySkill[sk] {
+				if FeasibleFrom(w, loc, readyAt, distBudget, ci.in.Task(tid), ci.dist) {
+					out = append(out, tid)
+				}
 			}
 		}
 	}
@@ -112,6 +132,13 @@ func (ci *CandidateIndex) TasksNear(p geo.Point, r float64) []TaskID {
 	}
 	sortTaskIDs(out)
 	return out
+}
+
+// WorkersWithSkill returns, ascending, the IDs of the workers holding sk —
+// the skill-bucket half of WorkersFor, for callers (like the online
+// simulator) that must apply their own per-worker state checks.
+func (ci *CandidateIndex) WorkersWithSkill(sk Skill) []WorkerID {
+	return ci.workersBySkill[sk]
 }
 
 // WorkersFor returns, in ascending worker-ID order, every worker that can

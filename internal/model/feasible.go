@@ -28,7 +28,7 @@ func FeasibleFrom(w *Worker, loc geo.Point, readyAt, distBudget float64, t *Task
 		return false
 	}
 	d := dist(loc, t.Loc)
-	if d > distBudget {
+	if d > distBudget+DistEps {
 		return false
 	}
 	depart := maxf(readyAt, t.Start)
@@ -45,6 +45,16 @@ func ArrivalTime(w *Worker, loc geo.Point, readyAt float64, t *Task, dist geo.Di
 // timeEps absorbs floating-point noise in deadline comparisons so that a
 // worker exactly on the boundary (common in hand-built examples) is feasible.
 const timeEps = 1e-9
+
+// DistEps is the distance-budget counterpart of timeEps: the budget check of
+// FeasibleFrom accepts d ≤ distBudget + DistEps. The simulator accumulates a
+// worker's travelled distance leg by leg in floating point, so a worker that
+// exactly exhausts its declared budget can end up with a remaining budget a
+// few ulps below the true value (even slightly negative); without the epsilon
+// a colocated task (d = 0) would flip infeasible. Exported so spatial pruning
+// layers can widen their query radius to distBudget+DistEps and stay
+// consistent with this predicate.
+const DistEps = 1e-9
 
 func maxf(a, b float64) float64 {
 	if a > b {

@@ -111,6 +111,36 @@ func TestTravelTimeAndArrival(t *testing.T) {
 	}
 }
 
+func TestFeasibleDistanceBoundaryEpsilon(t *testing.T) {
+	// The simulator accumulates travelled distance in floating point; a
+	// worker that exactly exhausts its budget can be left with a remaining
+	// budget a few ulps off. The budget check must tolerate that, exactly
+	// as the deadline check tolerates timeEps.
+	w, tk := baseWorker(), baseTask() // task at distance 5
+
+	// Three 0.1 legs accumulate to 0.30000000000000004; remaining budget of
+	// a 0.3-budget worker is then ~-4e-17. A colocated task (d = 0) must
+	// stay feasible.
+	used := 0.1 + 0.1 + 0.1
+	remaining := 0.3 - used // slightly negative
+	tk.Loc = geo.Pt(3, 3)
+	if !FeasibleFrom(&w, geo.Pt(3, 3), 0, remaining, &tk, geo.Euclidean) {
+		t.Error("colocated task rejected on float-noise budget")
+	}
+
+	// Remaining budget representably just below the exact distance: the
+	// epsilon absorbs the gap.
+	tk = baseTask() // distance 5
+	below := 5.0 - 5e-10
+	if !FeasibleFrom(&w, geo.Pt(0, 0), 0, below, &tk, geo.Euclidean) {
+		t.Error("budget within DistEps of the distance rejected")
+	}
+	// A real shortfall must still fail.
+	if FeasibleFrom(&w, geo.Pt(0, 0), 0, 4.9, &tk, geo.Euclidean) {
+		t.Error("clear budget shortfall accepted")
+	}
+}
+
 func TestFeasibleFromMidSimulation(t *testing.T) {
 	w, tk := baseWorker(), baseTask() // dist 5, ct 5, deadline 100
 	// Worker relocated next to the task with a tiny remaining budget.

@@ -34,10 +34,68 @@ func RunOnline(in *model.Instance, cfg Config) (*Result, error) {
 }
 
 // event is one point of the online timeline: a task appearing or a worker
-// appearing/freeing.
+// appearing.
 type event struct {
 	at   float64
-	task model.TaskID // -1 for pure worker events
+	task model.TaskID // -1 for worker-arrival events
+}
+
+// wakeupQueue is a min-heap of re-examination times with duplicate
+// suppression: worker-finish times are pushed as assignments are made and
+// popped in time order, including wakeups created while draining earlier
+// ones — the fixpoint that keeps late completion chains alive.
+type wakeupQueue struct {
+	heap []float64
+	seen map[float64]bool
+}
+
+func newWakeupQueue() *wakeupQueue {
+	return &wakeupQueue{seen: make(map[float64]bool)}
+}
+
+func (q *wakeupQueue) push(at float64) {
+	if q.seen[at] {
+		return
+	}
+	q.seen[at] = true
+	q.heap = append(q.heap, at)
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.heap[p] <= q.heap[i] {
+			break
+		}
+		q.heap[p], q.heap[i] = q.heap[i], q.heap[p]
+		i = p
+	}
+}
+
+func (q *wakeupQueue) len() int { return len(q.heap) }
+
+func (q *wakeupQueue) min() float64 { return q.heap[0] }
+
+func (q *wakeupQueue) pop() float64 {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && q.heap[l] < q.heap[best] {
+			best = l
+		}
+		if r < last && q.heap[r] < q.heap[best] {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		q.heap[i], q.heap[best] = q.heap[best], q.heap[i]
+		i = best
+	}
+	return top
 }
 
 func (p *Platform) runOnline() (*Result, error) {
@@ -60,12 +118,26 @@ func (p *Platform) runOnline() (*Result, error) {
 	assigned := make(map[model.TaskID]bool)
 	finishAt := make(map[model.TaskID]float64)
 
-	// Timeline: task arrivals, plus re-examination points when workers free.
+	// ci's skill buckets prune the per-arrival worker scan: only workers
+	// holding rs_t are examined for a task.
+	ci := model.NewCandidateIndex(in)
+
+	// Timeline: task arrivals AND worker arrivals. A worker whose Start
+	// falls after the last task arrival must still trigger a sweep, or the
+	// tasks it could serve are silently dropped.
 	var timeline []event
 	for i := range in.Tasks {
 		timeline = append(timeline, event{at: in.Tasks[i].Start, task: in.Tasks[i].ID})
 	}
-	sort.Slice(timeline, func(a, b int) bool { return timeline[a].at < timeline[b].at })
+	for i := range in.Workers {
+		timeline = append(timeline, event{at: in.Workers[i].Start, task: -1})
+	}
+	sort.SliceStable(timeline, func(a, b int) bool { return timeline[a].at < timeline[b].at })
+
+	// Wakeups re-examine pending tasks when a busy worker frees. New
+	// assignments push their finish time as they are made, so completions
+	// chained through the post-timeline drain keep generating wakeups.
+	wake := newWakeupQueue()
 
 	var delaySum float64
 	var delayCount int
@@ -83,7 +155,8 @@ func (p *Platform) runOnline() (*Result, error) {
 		}
 		best := -1
 		bestTravel := math.Inf(1)
-		for i := range in.Workers {
+		for _, wid := range ci.WorkersWithSkill(t.Requires) {
+			i := int(wid)
 			w := &in.Workers[i]
 			if w.Start > now || now > w.Expiry() || ws[i].busyUntil > now {
 				continue
@@ -114,6 +187,9 @@ func (p *Platform) runOnline() (*Result, error) {
 		ws[best].loc = t.Loc
 		ws[best].distUsed += d
 		ws[best].busyUntil = finish
+		if finish > now {
+			wake.push(finish)
+		}
 		res.WorkerBusyTime += finish - now
 		res.AssignedPairs++
 		res.AssignedWeight += t.EffWeight()
@@ -128,10 +204,9 @@ func (p *Platform) runOnline() (*Result, error) {
 		return true
 	}
 
-	// Process the timeline; after every assignment, sweep the still-pending
-	// tasks whose windows are open (a dependency may have unblocked them, or
-	// the just-freed location may not matter until the worker frees — worker
-	// frees are swept at each event time too).
+	// pendingSweep retries every open pending task until nothing more fits —
+	// an assignment may have unblocked dependants, or a worker may have
+	// freed/arrived at this instant.
 	pendingSweep := func(now float64) {
 		for changed := true; changed; {
 			changed = false
@@ -146,30 +221,25 @@ func (p *Platform) runOnline() (*Result, error) {
 			}
 		}
 	}
-	// Also wake up when workers free, so waiting tasks get another chance.
-	var wakeups []float64
+
 	for _, ev := range timeline {
 		now := ev.at
-		// Flush earlier wakeups first.
-		sort.Float64s(wakeups)
-		for len(wakeups) > 0 && wakeups[0] <= now {
-			pendingSweep(wakeups[0])
-			wakeups = wakeups[1:]
+		// Process earlier wakeups first, in time order; sweeps may push
+		// fresh wakeups that still precede now.
+		for wake.len() > 0 && wake.min() <= now {
+			pendingSweep(wake.pop())
 		}
-		tryAssign(ev.task, now)
+		if ev.task >= 0 {
+			tryAssign(ev.task, now)
+		}
 		pendingSweep(now)
-		// Schedule a wakeup at each busy worker's finish time.
-		for i := range ws {
-			if ws[i].busyUntil > now {
-				wakeups = append(wakeups, ws[i].busyUntil)
-			}
-		}
 		res.Batches++ // one "decision point" per arrival, for comparability
 	}
-	// Drain remaining wakeups.
-	sort.Float64s(wakeups)
-	for _, at := range wakeups {
-		pendingSweep(at)
+	// Drain remaining wakeups to a fixpoint: assignments made here set
+	// busyUntil times that push their own wakeups, so dependants completed
+	// after the last arrival still get their chance.
+	for wake.len() > 0 {
+		pendingSweep(wake.pop())
 	}
 
 	for i := range in.Tasks {

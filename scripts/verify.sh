@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repo verification: build, vet, full test suite, then a race-detector pass
+# over the packages with real concurrency (the parallel BatchIndex build in
+# core, the simulator that drives it, and the HTTP server).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (core, sim, server)"
+go test -race ./internal/core/... ./internal/sim/... ./internal/server/...
+
+echo "verify: OK"
