@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// tickTrace is a precomputed multi-tick platform evolution: per tick, the
+// worker states (a small fraction moved and spent budget, everyone's clock
+// advanced) and the pending task set (some retired, some newly arrived).
+// Both benchmark variants replay the same trace, so the only difference
+// measured is incremental maintenance vs from-scratch construction.
+type tickTrace struct {
+	in    *model.Instance
+	ticks []tickState
+}
+
+type tickState struct {
+	workers []core.BatchWorker
+	tasks   []*model.Task
+}
+
+// newTickTrace simulates the steady-state tick regime of fig10's heaviest
+// sweep point: per tick ~2% of the workers were dispatched (moved, budget
+// spent), ~5% of the pending tasks retired, and a handful of new tasks
+// arrived. The batch interval is small relative to the waiting times, so the
+// overwhelming majority of workers are unchanged between consecutive ticks —
+// exactly the regime the cross-batch engine targets.
+func newTickTrace(b *testing.B, ticks int) *tickTrace {
+	b.Helper()
+	return traceFromInstance(largestRegistryInstance(b), ticks)
+}
+
+func traceFromInstance(in *model.Instance, ticks int) *tickTrace {
+	rng := rand.New(rand.NewSource(7))
+	dist := in.Distance()
+
+	type wstate struct {
+		loc    geo.Point
+		budget float64
+	}
+	ws := make([]wstate, len(in.Workers))
+	for i := range in.Workers {
+		ws[i] = wstate{loc: in.Workers[i].Loc, budget: in.Workers[i].MaxDist}
+	}
+	pending := make(map[int]bool, len(in.Tasks))
+	var unseen []int
+	for ti := range in.Tasks {
+		if ti%10 != 0 {
+			pending[ti] = true
+		} else {
+			unseen = append(unseen, ti)
+		}
+	}
+
+	tr := &tickTrace{in: in}
+	now := 0.0
+	for k := 0; k < ticks; k++ {
+		now += 1
+		for i := range ws {
+			if rng.Float64() < 0.02 {
+				dst := in.Tasks[rng.Intn(len(in.Tasks))].Loc
+				ws[i].budget -= dist(ws[i].loc, dst)
+				ws[i].loc = dst
+			}
+		}
+		// Iterate in task order, not map order: the trace must be identical
+		// across calls so both benchmark variants replay the same ticks.
+		for ti := range in.Tasks {
+			if pending[ti] && rng.Float64() < 0.05 {
+				delete(pending, ti)
+			}
+		}
+		for n := 0; n < 20 && len(unseen) > 0; n++ {
+			ti := unseen[len(unseen)-1]
+			unseen = unseen[:len(unseen)-1]
+			pending[ti] = true
+		}
+
+		st := tickState{workers: make([]core.BatchWorker, len(in.Workers))}
+		for i := range in.Workers {
+			st.workers[i] = core.BatchWorker{
+				W: &in.Workers[i], Loc: ws[i].loc, ReadyAt: now, DistBudget: ws[i].budget,
+			}
+		}
+		for ti := range in.Tasks {
+			if pending[ti] {
+				st.tasks = append(st.tasks, &in.Tasks[ti])
+			}
+		}
+		tr.ticks = append(tr.ticks, st)
+	}
+	return tr
+}
+
+const benchTicks = 8
+
+// BenchmarkIncrementalEngineCached measures the multi-tick candidate-engine
+// cost with the cross-batch EngineCache carried from tick to tick: the first
+// tick pays a full build, every later tick revalidates unmoved workers by
+// pure time arithmetic over memoized travel times.
+//
+//	go test ./internal/bench -bench BenchmarkIncrementalEngine -benchtime 3x
+func BenchmarkIncrementalEngineCached(b *testing.B) {
+	tr := newTickTrace(b, benchTicks)
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		cache := core.NewEngineCache()
+		for _, st := range tr.ticks {
+			batch := core.NewBatch(tr.in, st.workers, st.tasks, nil)
+			cache.Attach(batch)
+			pairs = batch.Index().FeasiblePairs()
+		}
+	}
+	b.ReportMetric(float64(pairs), "feasible_pairs")
+	b.ReportMetric(float64(benchTicks), "ticks/op")
+}
+
+// BenchmarkIncrementalEngineScratch is the baseline: the same tick trace with
+// the engine rebuilt from scratch every tick (the pre-cache behaviour of both
+// platforms).
+func BenchmarkIncrementalEngineScratch(b *testing.B) {
+	tr := newTickTrace(b, benchTicks)
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		for _, st := range tr.ticks {
+			batch := core.NewBatch(tr.in, st.workers, st.tasks, nil)
+			pairs = batch.Index().FeasiblePairs()
+		}
+	}
+	b.ReportMetric(float64(pairs), "feasible_pairs")
+	b.ReportMetric(float64(benchTicks), "ticks/op")
+}
+
+// TestIncrementalEngineBenchmarkAgree pins the benchmark pair to identical
+// engines on a scaled-down trace: at every tick the cached build must equal a
+// fresh build bit for bit, so the speedup numbers compare equal work.
+func TestIncrementalEngineBenchmarkAgree(t *testing.T) {
+	w := DefaultSyntheticWorkload()
+	in, err := w.Generate(0.02, 1) // 100 workers × 100 tasks: cheap but non-trivial
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	dist := in.Distance()
+
+	type wstate struct {
+		loc    geo.Point
+		budget float64
+	}
+	ws := make([]wstate, len(in.Workers))
+	for i := range in.Workers {
+		ws[i] = wstate{loc: in.Workers[i].Loc, budget: in.Workers[i].MaxDist}
+	}
+	pending := make(map[int]bool, len(in.Tasks))
+	for ti := range in.Tasks {
+		pending[ti] = true
+	}
+
+	cache := core.NewEngineCache()
+	now := 0.0
+	for k := 0; k < 6; k++ {
+		now += 1
+		for i := range ws {
+			if rng.Float64() < 0.05 {
+				dst := in.Tasks[rng.Intn(len(in.Tasks))].Loc
+				ws[i].budget -= dist(ws[i].loc, dst)
+				ws[i].loc = dst
+			}
+		}
+		for ti := range in.Tasks {
+			if pending[ti] && rng.Float64() < 0.05 {
+				delete(pending, ti)
+			}
+		}
+		workers := make([]core.BatchWorker, len(in.Workers))
+		for i := range in.Workers {
+			workers[i] = core.BatchWorker{
+				W: &in.Workers[i], Loc: ws[i].loc, ReadyAt: now, DistBudget: ws[i].budget,
+			}
+		}
+		var tasks []*model.Task
+		for ti := range in.Tasks {
+			if pending[ti] {
+				tasks = append(tasks, &in.Tasks[ti])
+			}
+		}
+		batch := core.NewBatch(in, workers, tasks, nil)
+		cache.Attach(batch)
+		if err := batch.VerifyIndex(); err != nil {
+			t.Fatalf("tick %d: %v", k, err)
+		}
+	}
+	if st := cache.Stats(); st.WorkersReused == 0 {
+		t.Fatalf("trace never took the revalidation fast path: %+v", st)
+	}
+}

@@ -43,7 +43,8 @@ type Batch struct {
 	Satisfied map[model.TaskID]bool
 
 	dist    geo.DistanceFunc
-	pending map[model.TaskID]int // task ID -> index into Tasks
+	pending map[model.TaskID]int   // task ID -> index into Tasks
+	widx    map[model.WorkerID]int // worker ID -> index into Workers
 
 	idxOnce sync.Once
 	idx     *BatchIndex
@@ -87,6 +88,10 @@ func (b *Batch) init() {
 	for i, t := range b.Tasks {
 		b.pending[t.ID] = i
 	}
+	b.widx = make(map[model.WorkerID]int, len(b.Workers))
+	for i := range b.Workers {
+		b.widx[b.Workers[i].W.ID] = i
+	}
 }
 
 // Dist returns the batch's travel metric.
@@ -99,6 +104,35 @@ func (b *Batch) TaskIndex(id model.TaskID) int {
 		return i
 	}
 	return -1
+}
+
+// WorkerIndex returns the index of worker id within b.Workers, or -1 when the
+// worker is not active in this batch. Dispatch loops must use the -1 signal
+// instead of a bare map lookup: a zero-value miss would silently resolve to
+// batch worker 0.
+func (b *Batch) WorkerIndex(id model.WorkerID) int {
+	if i, ok := b.widx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// DropUnknownWorkers removes from m every pair naming a worker that is not
+// active in this batch and returns how many were dropped. Allocators are
+// contractually bound to b.Workers, but a misbehaving custom implementation
+// used to slip through: the platforms' worker-ID lookup resolved unknown IDs
+// to batch index 0 and silently corrupted worker 0's state. The platforms
+// call this right after Assign so scoring and dispatch see only real pairs.
+func DropUnknownWorkers(b *Batch, m *model.Assignment) int {
+	kept := m.Pairs[:0]
+	for _, p := range m.Pairs {
+		if b.WorkerIndex(p.Worker) >= 0 {
+			kept = append(kept, p)
+		}
+	}
+	dropped := len(m.Pairs) - len(kept)
+	m.Pairs = kept
+	return dropped
 }
 
 // Feasible reports whether batch worker wi can take task t under the skill,

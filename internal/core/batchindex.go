@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -189,9 +190,16 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 		wg.Wait()
 	}
 
-	// Invert the strategy sets into per-task candidate lists. Iterating
-	// workers ascending keeps every list ascending without a sort.
-	counts := make([]int32, len(b.Tasks))
+	idx.invertStrategies()
+	return idx
+}
+
+// invertStrategies derives the per-task candidate lists from the strategy
+// sets. Iterating workers ascending keeps every list ascending without a
+// sort. Shared by the from-scratch build and the incremental EngineCache
+// build so both produce structurally identical indexes.
+func (idx *BatchIndex) invertStrategies() {
+	counts := make([]int32, len(idx.candidates))
 	for wi := range idx.strategies {
 		for _, ti := range idx.strategies[wi] {
 			counts[ti]++
@@ -207,7 +215,6 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 			idx.candidates[ti] = append(idx.candidates[ti], int32(wi))
 		}
 	}
-	return idx
 }
 
 // pendingBBox returns a box covering the batch's pending task locations.
@@ -282,4 +289,58 @@ func (idx *BatchIndex) FeasiblePairs() int {
 		n += len(s)
 	}
 	return n
+}
+
+// VerifyIndex rebuilds the batch's candidate engine from scratch and returns
+// a description of the first divergence from the installed index, or nil.
+// It is the differential cross-check for incrementally maintained indexes
+// (EngineCache), the same pattern ScanStrategySets provides for the pruned
+// single-batch build: the incremental and from-scratch engines must agree
+// exactly — sets, memoized costs, and candidate lists.
+func (b *Batch) VerifyIndex() error {
+	got := b.Index()
+	want := newBatchIndex(b)
+	for wi := range want.strategies {
+		if !int32SlicesEqual(got.strategies[wi], want.strategies[wi]) {
+			return fmt.Errorf("core: worker %d strategy set diverges: incremental %v, fresh %v",
+				wi, got.strategies[wi], want.strategies[wi])
+		}
+		if !float64SlicesEqual(got.costs[wi], want.costs[wi]) {
+			return fmt.Errorf("core: worker %d travel-cost memo diverges: incremental %v, fresh %v",
+				wi, got.costs[wi], want.costs[wi])
+		}
+	}
+	for ti := range want.candidates {
+		if !int32SlicesEqual(got.candidates[ti], want.candidates[ti]) {
+			return fmt.Errorf("core: task %d candidate list diverges: incremental %v, fresh %v",
+				ti, got.candidates[ti], want.candidates[ti])
+		}
+	}
+	return nil
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// float64SlicesEqual compares bit-for-bit (the incremental build memoizes
+// the exact floats the fresh build computes; no tolerance is needed).
+func float64SlicesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"sort"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// EngineCache carries the candidate engine across batches. A platform tick
+// loop (sim.Platform.Run, server.Platform.Tick) creates one cache per run
+// and calls Attach on every batch; the cache then builds each batch's
+// BatchIndex incrementally from the previous one instead of from scratch.
+//
+// The regime this exploits is exactly the steady state of a dynamic
+// platform: between consecutive batches only the workers that were assigned
+// move, only a few tasks enter (new arrivals) or leave (assigned, botched or
+// expired), and the clock advances. Per batch the cache therefore does:
+//
+//   - Unmoved workers (same location, same distance budget, readiness only
+//     advanced): the cached strategy set is REVALIDATED, not rebuilt. Of
+//     FeasibleFrom's four components, skill, window overlap and distance
+//     budget do not depend on the clock, and the deadline check
+//     depart + travel ≤ deadline is monotone in the readiness time — so a
+//     cached pair can only flip feasible → infeasible, never back, and the
+//     flip is decided by model.DeadlineFeasible over the memoized travel
+//     time. Zero distance evaluations for these workers.
+//   - Moved or new workers: rebuilt through the same skill-bucket /
+//     spatial-grid path as the from-scratch build.
+//   - Departed tasks: dropped from the maintained spatial grid
+//     (geo.GridIndex.Remove) and filtered out of every cached set during
+//     revalidation.
+//   - Newly arrived tasks: probed only against workers holding their
+//     required skill (for unmoved workers; moved workers see them through
+//     their rebuild).
+//
+// The incremental build is exactly equal to newBatchIndex — same sets, same
+// memoized costs, same candidate lists — which Batch.VerifyIndex checks
+// differentially, the same pattern as ScanStrategySets for the single-batch
+// engine.
+//
+// Contract: a cache belongs to one platform. The travel metric must not
+// change between batches (guarded best-effort by function-pointer identity:
+// a change forces a full rebuild), worker and task parameters must be
+// immutable per ID while cached (the platforms' registries are append-only),
+// and IDs must be unique within a batch. A cache is not safe for concurrent
+// Attach calls; the platforms attach under their own single-threaded loop or
+// mutex.
+type EngineCache struct {
+	valid   bool
+	distPtr uintptr
+
+	// workers holds the last batch's per-worker state and strategy sets,
+	// keyed by worker ID. Workers absent from the current batch are dropped:
+	// in the platforms a worker only disappears by being assigned (and so
+	// moving) or by leaving its window, but dropping keeps the cache sound
+	// for any caller.
+	workers map[model.WorkerID]*cachedWorker
+	// pending is the set of task IDs that were pending in the last batch.
+	pending map[model.TaskID]bool
+
+	// grid spatially indexes the pending task locations across batches,
+	// keyed by int(TaskID); maintained by Insert/Remove as tasks arrive and
+	// depart. nil when the metric admits no Euclidean lower bound.
+	grid     *geo.GridIndex
+	gridable bool
+	boxScale float64
+	boxArea  float64
+
+	stats EngineCacheStats
+}
+
+// cachedWorker is one worker's state snapshot and strategy set from the last
+// batch. The static parameters are recorded so a mutated registration
+// invalidates the entry (falls back to a rebuild) instead of poisoning it.
+type cachedWorker struct {
+	loc        geo.Point
+	readyAt    float64
+	distBudget float64
+
+	start, wait, velocity, maxDist float64
+
+	// tasks and costs mirror the worker's strategy set by task ID (batch
+	// indexes do not survive across batches) with the aligned travel-time
+	// memo.
+	tasks []model.TaskID
+	costs []float64
+}
+
+// EngineCacheStats counts what the cache did, for observability and tests.
+type EngineCacheStats struct {
+	Batches        int // Attach calls
+	FullRebuilds   int // batches built entirely from scratch
+	WorkersReused  int // strategy sets revalidated by time arithmetic
+	WorkersRebuilt int // strategy sets rebuilt through the pruned scan
+	TasksArrived   int // tasks probed as new arrivals
+	TasksDeparted  int // tasks dropped from the cache and grid
+}
+
+// NewEngineCache returns an empty cache; the first Attach does a full build.
+func NewEngineCache() *EngineCache {
+	return &EngineCache{}
+}
+
+// Stats returns the cache's counters so far.
+func (c *EngineCache) Stats() EngineCacheStats { return c.stats }
+
+// Attach installs the cache-built candidate engine as b's index (what
+// b.Index() and every allocator will consume) and absorbs the batch so the
+// next Attach can go incremental. If the batch's index was already built
+// (someone called b.Index() first), that index is absorbed instead.
+func (c *EngineCache) Attach(b *Batch) *BatchIndex {
+	built := false
+	b.idxOnce.Do(func() {
+		b.idx = c.build(b)
+		built = true
+	})
+	if !built {
+		// Someone built the index from scratch already; adopt it as the
+		// incremental baseline (grid and metric identity included).
+		c.adopt(b, b.idx)
+	}
+	return b.idx
+}
+
+// distFuncPtr identifies a metric by its code pointer, the same best-effort
+// identity geo.EuclideanBoundScale uses for its recognition switch.
+func distFuncPtr(f geo.DistanceFunc) uintptr {
+	if f == nil {
+		return 0
+	}
+	return reflect.ValueOf(f).Pointer()
+}
+
+func (c *EngineCache) build(b *Batch) *BatchIndex {
+	c.stats.Batches++
+	dp := distFuncPtr(b.dist)
+	if !c.valid || dp != c.distPtr ||
+		// A grid-able metric with no grid (first populated batch after an
+		// empty one) cannot be maintained incrementally; rebuild to get one.
+		(c.gridable && c.grid == nil && len(b.Tasks) > 0) {
+		return c.reset(b)
+	}
+	return c.incremental(b)
+}
+
+// reset performs a from-scratch build and adopts the result.
+func (c *EngineCache) reset(b *Batch) *BatchIndex {
+	c.stats.FullRebuilds++
+	c.stats.WorkersRebuilt += len(b.Workers)
+	idx := newBatchIndex(b)
+	c.adopt(b, idx)
+	return idx
+}
+
+// adopt makes a from-scratch index (built by reset or by a caller before
+// Attach) the cache's incremental baseline: it records the metric identity,
+// (re)creates the maintained grid over the batch's pending tasks, and
+// absorbs the worker states and strategy sets.
+func (c *EngineCache) adopt(b *Batch, idx *BatchIndex) {
+	c.distPtr = distFuncPtr(b.dist)
+	c.grid = nil
+	c.boxScale, c.boxArea = 0, 0
+	scale, ok := geo.EuclideanBoundScale(b.In.Dist)
+	c.gridable = ok
+	if ok && len(b.Tasks) > 0 {
+		box := pendingBBox(b)
+		c.grid = geo.NewGridIndex(box, len(b.Tasks)+1)
+		for _, t := range b.Tasks {
+			c.grid.Insert(int(t.ID), t.Loc)
+		}
+		c.boxScale = scale
+		c.boxArea = box.Width() * box.Height()
+		if c.boxArea <= 0 {
+			c.boxArea = 1e-18
+		}
+	}
+	c.absorb(b, idx)
+}
+
+// incremental builds the batch's index from the cached previous batch.
+func (c *EngineCache) incremental(b *Batch) *BatchIndex {
+	idx := &BatchIndex{
+		b:          b,
+		strategies: make([][]int32, len(b.Workers)),
+		costs:      make([][]float64, len(b.Workers)),
+		candidates: make([][]int32, len(b.Tasks)),
+	}
+
+	// Task diff. Departed tasks leave the grid; arrivals enter it and form
+	// the probe set for unmoved workers.
+	for id := range c.pending {
+		if _, ok := b.pending[id]; !ok {
+			c.stats.TasksDeparted++
+			if c.grid != nil {
+				c.grid.Remove(int(id))
+			}
+		}
+	}
+	var arrived []int32
+	for id, ti := range b.pending {
+		if !c.pending[id] {
+			arrived = append(arrived, int32(ti))
+			if c.grid != nil {
+				c.grid.Insert(int(id), b.Tasks[ti].Loc)
+			}
+		}
+	}
+	sort.Slice(arrived, func(i, j int) bool { return arrived[i] < arrived[j] })
+	c.stats.TasksArrived += len(arrived)
+
+	// Skill buckets: over the arrivals for the revalidation probes, over the
+	// whole batch for worker rebuilds.
+	newBySkill := make(map[model.Skill][]int32)
+	for _, ti := range arrived {
+		t := b.Tasks[ti]
+		newBySkill[t.Requires] = append(newBySkill[t.Requires], ti)
+	}
+	bySkill := make(map[model.Skill][]int32)
+	for ti, t := range b.Tasks {
+		bySkill[t.Requires] = append(bySkill[t.Requires], int32(ti))
+	}
+	gridDensity := 0.0
+	if c.grid != nil {
+		gridDensity = float64(c.grid.Len()) / c.boxArea
+	}
+
+	var scratch []int
+	for wi := range b.Workers {
+		bw := &b.Workers[wi]
+		cw := c.workers[bw.W.ID]
+		if cw != nil &&
+			cw.loc == bw.Loc &&
+			cw.distBudget == bw.DistBudget &&
+			bw.ReadyAt >= cw.readyAt &&
+			cw.start == bw.W.Start && cw.wait == bw.W.Wait &&
+			cw.velocity == bw.W.Velocity && cw.maxDist == bw.W.MaxDist {
+			c.revalidate(b, wi, cw, newBySkill, idx)
+			c.stats.WorkersReused++
+		} else {
+			scratch = c.rebuildWorker(b, wi, bySkill, gridDensity, scratch, idx)
+			c.stats.WorkersRebuilt++
+		}
+	}
+
+	idx.invertStrategies()
+	c.absorb(b, idx)
+	return idx
+}
+
+// revalidate re-derives an unmoved worker's strategy set: cached entries are
+// filtered by pure time arithmetic over the memoized travel times (departed
+// tasks drop out via the pending lookup, deadline-expired ones via
+// model.DeadlineFeasible), and newly arrived tasks are probed through the
+// full predicate — the only distance evaluations on this path.
+func (c *EngineCache) revalidate(b *Batch, wi int, cw *cachedWorker, newBySkill map[model.Skill][]int32, idx *BatchIndex) {
+	bw := &b.Workers[wi]
+	var set []int32
+	var costs []float64
+	for k, id := range cw.tasks {
+		ti, ok := b.pending[id]
+		if !ok {
+			continue // task departed
+		}
+		if model.DeadlineFeasible(b.Tasks[ti], bw.ReadyAt, cw.costs[k]) {
+			set = append(set, int32(ti))
+			costs = append(costs, cw.costs[k])
+		}
+	}
+	for _, sk := range bw.W.Skills.Skills() {
+		for _, ti := range newBySkill[sk] {
+			t := b.Tasks[ti]
+			if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
+				set = append(set, ti)
+				costs = append(costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
+			}
+		}
+	}
+	// Cached entries follow the previous batch's index order and arrivals
+	// interleave arbitrarily; restore ascending task-index order.
+	sort.Sort(strategyByIndex{set, costs})
+	idx.strategies[wi] = set
+	idx.costs[wi] = costs
+}
+
+// rebuildWorker recomputes a moved (or new) worker's strategy set through
+// the same pruned scan as the from-scratch build, with the maintained grid
+// standing in for the per-batch one. Grid hits come back as task IDs and are
+// mapped to batch indexes through the pending map.
+func (c *EngineCache) rebuildWorker(b *Batch, wi int, bySkill map[model.Skill][]int32, gridDensity float64, scratch []int, idx *BatchIndex) []int {
+	bw := &b.Workers[wi]
+	var set []int32
+	var costs []float64
+	appendFeasible := func(ti int32) {
+		t := b.Tasks[ti]
+		if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
+			set = append(set, ti)
+			costs = append(costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
+		}
+	}
+	skillPool := 0
+	for _, sk := range bw.W.Skills.Skills() {
+		skillPool += len(bySkill[sk])
+	}
+	useGrid := false
+	if c.grid != nil {
+		r := c.boxScale * (bw.DistBudget + model.DistEps)
+		discPool := math.Pi * r * r * gridDensity
+		if discPool > float64(len(b.Tasks)) {
+			discPool = float64(len(b.Tasks))
+		}
+		useGrid = discPool < float64(skillPool)
+	}
+	if useGrid {
+		scratch = c.grid.Within(bw.Loc, c.boxScale*(bw.DistBudget+model.DistEps), scratch[:0])
+		for _, id := range scratch {
+			ti, ok := b.pending[model.TaskID(id)]
+			if !ok {
+				continue
+			}
+			if bw.W.Skills.Has(b.Tasks[ti].Requires) {
+				appendFeasible(int32(ti))
+			}
+		}
+	} else {
+		for _, sk := range bw.W.Skills.Skills() {
+			for _, ti := range bySkill[sk] {
+				appendFeasible(ti)
+			}
+		}
+	}
+	sort.Sort(strategyByIndex{set, costs})
+	idx.strategies[wi] = set
+	idx.costs[wi] = costs
+	return scratch
+}
+
+// absorb snapshots the batch's worker states and strategy sets (re-keyed by
+// ID, since batch-local indexes do not survive) as the baseline for the next
+// incremental build. The cost slices are shared with the immutable index.
+func (c *EngineCache) absorb(b *Batch, idx *BatchIndex) {
+	c.workers = make(map[model.WorkerID]*cachedWorker, len(b.Workers))
+	for wi := range b.Workers {
+		bw := &b.Workers[wi]
+		set := idx.strategies[wi]
+		tasks := make([]model.TaskID, len(set))
+		for k, ti := range set {
+			tasks[k] = b.Tasks[ti].ID
+		}
+		c.workers[bw.W.ID] = &cachedWorker{
+			loc:        bw.Loc,
+			readyAt:    bw.ReadyAt,
+			distBudget: bw.DistBudget,
+			start:      bw.W.Start,
+			wait:       bw.W.Wait,
+			velocity:   bw.W.Velocity,
+			maxDist:    bw.W.MaxDist,
+			tasks:      tasks,
+			costs:      idx.costs[wi],
+		}
+	}
+	c.pending = make(map[model.TaskID]bool, len(b.Tasks))
+	for _, t := range b.Tasks {
+		c.pending[t.ID] = true
+	}
+	c.valid = true
+}

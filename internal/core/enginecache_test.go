@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// evolvingBatches drives an EngineCache through a synthetic multi-batch
+// evolution mimicking a platform run — the clock advances, a fraction of the
+// workers move (as if assigned) and spend budget, tasks retire and arrive —
+// and checks the incrementally built engine against a from-scratch build at
+// every batch. Returns the cache for stats assertions.
+func evolvingBatches(t *testing.T, in *model.Instance, rng *rand.Rand, batches int) *EngineCache {
+	t.Helper()
+	cache := NewEngineCache()
+
+	type wstate struct {
+		loc    geo.Point
+		budget float64
+	}
+	ws := make([]wstate, len(in.Workers))
+	for i := range in.Workers {
+		ws[i] = wstate{loc: in.Workers[i].Loc, budget: in.Workers[i].MaxDist}
+	}
+	// Start with roughly two thirds of the tasks pending; the rest arrive
+	// over the run. Retired tasks never return (the platform regime).
+	pending := make(map[int]bool)
+	unseen := []int{}
+	for ti := range in.Tasks {
+		if ti%3 != 0 {
+			pending[ti] = true
+		} else {
+			unseen = append(unseen, ti)
+		}
+	}
+
+	now := 0.0
+	for k := 0; k < batches; k++ {
+		now += 3
+		// ~20% of workers "were assigned": they jump to a random task
+		// location and burn budget.
+		for i := range ws {
+			if rng.Float64() < 0.2 && len(in.Tasks) > 0 {
+				dst := in.Tasks[rng.Intn(len(in.Tasks))].Loc
+				ws[i].budget -= in.Distance()(ws[i].loc, dst)
+				ws[i].loc = dst
+			}
+		}
+		// Retire ~15% of pending tasks, admit up to two arrivals.
+		for ti := range pending {
+			if rng.Float64() < 0.15 {
+				delete(pending, ti)
+			}
+		}
+		for n := 0; n < 2 && len(unseen) > 0; n++ {
+			ti := unseen[len(unseen)-1]
+			unseen = unseen[:len(unseen)-1]
+			pending[ti] = true
+		}
+
+		var bws []BatchWorker
+		for i := range in.Workers {
+			bws = append(bws, BatchWorker{
+				W: &in.Workers[i], Loc: ws[i].loc, ReadyAt: now, DistBudget: ws[i].budget,
+			})
+		}
+		var tasks []*model.Task
+		for ti := range in.Tasks {
+			if pending[ti] {
+				tasks = append(tasks, &in.Tasks[ti])
+			}
+		}
+		b := NewBatch(in, bws, tasks, nil)
+		cache.Attach(b)
+		if err := b.VerifyIndex(); err != nil {
+			t.Fatalf("batch %d: %v", k, err)
+		}
+	}
+	return cache
+}
+
+// TestEngineCacheMatchesFreshAcrossBatches is the tentpole's differential
+// acceptance test: after k batches of simulated evolution the incremental
+// engine equals a fresh newBatchIndex build at every batch, across the
+// Euclidean-boundable metrics (grid path), Haversine and a custom closure
+// (no-pruning path).
+func TestEngineCacheMatchesFreshAcrossBatches(t *testing.T) {
+	for _, m := range metricsUnderTest() {
+		t.Run(m.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(500))
+			for trial := 0; trial < 3; trial++ {
+				in := randomInstance(rng, 30+rng.Intn(30), 40+rng.Intn(40), 5, true)
+				in.Dist = m.dist
+				cache := evolvingBatches(t, in, rng, 8)
+				st := cache.Stats()
+				if st.Batches != 8 {
+					t.Fatalf("stats.Batches = %d, want 8", st.Batches)
+				}
+				// The evolution leaves ~80% of workers unmoved per batch;
+				// the fast path must actually be taken.
+				if st.WorkersReused == 0 {
+					t.Fatalf("no worker ever took the revalidation fast path: %+v", st)
+				}
+				if st.TasksDeparted == 0 || st.TasksArrived == 0 {
+					t.Fatalf("task churn not exercised: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineCacheMetricChangeForcesRebuild: attaching batches with a
+// different metric must not serve entries memoized under the old one.
+func TestEngineCacheMetricChangeForcesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	in := randomInstance(rng, 20, 30, 4, false)
+	cache := NewEngineCache()
+
+	in.Dist = geo.Euclidean
+	cache.Attach(NewStaticBatch(in))
+
+	in.Dist = geo.Manhattan
+	b := NewStaticBatch(in)
+	cache.Attach(b)
+	if err := b.VerifyIndex(); err != nil {
+		t.Fatalf("after metric change: %v", err)
+	}
+	if got := cache.Stats().FullRebuilds; got != 2 {
+		t.Fatalf("FullRebuilds = %d, want 2 (metric change must reset)", got)
+	}
+}
+
+// TestEngineCacheWorkerChurn: workers that disappear from a batch are
+// dropped; on return (at a new location) they are rebuilt, never served a
+// stale set.
+func TestEngineCacheWorkerChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	in := randomInstance(rng, 12, 25, 3, false)
+	cache := NewEngineCache()
+
+	all := NewStaticBatch(in)
+	cache.Attach(all)
+
+	// Batch 2: only the even workers, unmoved but later.
+	var bws []BatchWorker
+	for i := range in.Workers {
+		if i%2 == 0 {
+			w := &in.Workers[i]
+			bws = append(bws, BatchWorker{W: w, Loc: w.Loc, ReadyAt: 4, DistBudget: w.MaxDist})
+		}
+	}
+	var tasks []*model.Task
+	for i := range in.Tasks {
+		tasks = append(tasks, &in.Tasks[i])
+	}
+	b2 := NewBatch(in, bws, tasks, nil)
+	cache.Attach(b2)
+	if err := b2.VerifyIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch 3: everyone again; the odd workers must be treated as new
+	// (rebuilt), the evens revalidated.
+	before := cache.Stats().WorkersRebuilt
+	var bws3 []BatchWorker
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		bws3 = append(bws3, BatchWorker{W: w, Loc: w.Loc, ReadyAt: 8, DistBudget: w.MaxDist})
+	}
+	b3 := NewBatch(in, bws3, tasks, nil)
+	cache.Attach(b3)
+	if err := b3.VerifyIndex(); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := cache.Stats().WorkersRebuilt - before
+	if want := (len(in.Workers) + 1) / 2; rebuilt != want {
+		t.Fatalf("batch 3 rebuilt %d workers, want %d (the returned odd ones)", rebuilt, want)
+	}
+}
+
+// TestEngineCacheAbsorbsForeignIndex: if the batch's index was already built
+// before Attach, the cache must absorb it and still be consistent on the
+// next batch.
+func TestEngineCacheAbsorbsForeignIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	in := randomInstance(rng, 15, 20, 3, false)
+	cache := NewEngineCache()
+
+	b1 := NewStaticBatch(in)
+	b1.Index() // built before the cache sees it
+	cache.Attach(b1)
+
+	var bws []BatchWorker
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		bws = append(bws, BatchWorker{W: w, Loc: w.Loc, ReadyAt: 5, DistBudget: w.MaxDist})
+	}
+	var tasks []*model.Task
+	for i := range in.Tasks {
+		tasks = append(tasks, &in.Tasks[i])
+	}
+	b2 := NewBatch(in, bws, tasks, nil)
+	cache.Attach(b2)
+	if err := b2.VerifyIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().WorkersReused == 0 {
+		t.Fatal("absorbed index did not enable the revalidation fast path")
+	}
+}
+
+// TestEngineCacheEmptyBatches: empty worker or task sets must neither crash
+// nor poison later batches.
+func TestEngineCacheEmptyBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	in := randomInstance(rng, 10, 15, 3, false)
+	cache := NewEngineCache()
+
+	var tasks []*model.Task
+	for i := range in.Tasks {
+		tasks = append(tasks, &in.Tasks[i])
+	}
+	empty := NewBatch(in, nil, nil, nil)
+	cache.Attach(empty)
+
+	noTasks := NewBatch(in, NewStaticBatch(in).Workers, nil, nil)
+	cache.Attach(noTasks)
+
+	full := NewBatch(in, NewStaticBatch(in).Workers, tasks, nil)
+	cache.Attach(full)
+	if err := full.VerifyIndex(); err != nil {
+		t.Fatal(err)
+	}
+}

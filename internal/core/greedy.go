@@ -220,9 +220,17 @@ func (g *Greedy) staff(b *Batch, members []int, candidates [][]int, workerFree [
 			cost[row][i] = matching.Forbidden
 		}
 		for _, wi := range candidates[ti] {
-			if workerFree[wi] {
-				cost[row][colIdx[wi]] = idx.TravelCost(wi, ti)
+			if !workerFree[wi] {
+				continue
 			}
+			// Candidates trimmed out of the kept column set have no colIdx
+			// entry; a bare lookup would resolve to column 0 and overwrite
+			// its cost with an unrelated (possibly infeasible) worker's.
+			ci, kept := colIdx[wi]
+			if !kept {
+				continue
+			}
+			cost[row][ci] = idx.TravelCost(wi, ti)
 		}
 	}
 	var (

@@ -3,7 +3,9 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
 	"dasc/internal/dataset"
 	"dasc/internal/geo"
@@ -88,9 +90,17 @@ func Handler(p *Platform) http.Handler {
 		writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
 	})
 	mux.HandleFunc("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
-		var now float64
-		if _, err := fmt.Sscanf(r.URL.Query().Get("t"), "%g", &now); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?t=<time>: %w", err))
+		// strconv.ParseFloat (unlike a %g scan) rejects trailing garbage;
+		// NaN and ±Inf parse but would poison the platform's logical clock,
+		// so they are rejected explicitly.
+		raw := r.URL.Query().Get("t")
+		now, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?t=<time>: %q", raw))
+			return
+		}
+		if math.IsNaN(now) || math.IsInf(now, 0) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("non-finite ?t=<time>: %q", raw))
 			return
 		}
 		out, err := p.Tick(now)

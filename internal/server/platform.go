@@ -28,6 +28,9 @@ type Platform struct {
 	dist        geo.DistanceFunc
 	journal     *Journal
 	replaying   bool
+	cache       *core.EngineCache
+	noCache     bool
+	verifyCache bool
 
 	workers []model.Worker
 	wstate  []workerState
@@ -40,6 +43,7 @@ type Platform struct {
 	now     float64
 	batches int
 	wasted  int
+	rogue   int
 }
 
 type workerState struct {
@@ -61,6 +65,15 @@ type Config struct {
 	// platform state can be rebuilt after a restart via Replay. Journal
 	// write failures are returned to the caller of the mutating operation.
 	Journal *Journal
+	// DisableEngineCache rebuilds every tick's candidate engine from
+	// scratch instead of carrying it across ticks incrementally
+	// (core.EngineCache). The two builds agree exactly; the flag exists for
+	// A/B benchmarks and debugging.
+	DisableEngineCache bool
+	// VerifyEngineCache cross-checks the incrementally maintained candidate
+	// engine against a from-scratch build on every tick and fails the tick
+	// on divergence. Differential-testing hook; expensive.
+	VerifyEngineCache bool
 }
 
 // NewPlatform creates an empty platform.
@@ -80,6 +93,9 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		serviceTime: cfg.ServiceTime,
 		dist:        dist,
 		journal:     cfg.Journal,
+		cache:       core.NewEngineCache(),
+		noCache:     cfg.DisableEngineCache,
+		verifyCache: cfg.VerifyEngineCache,
 		assigned:    make(map[model.TaskID]model.WorkerID),
 		botched:     make(map[model.TaskID]bool),
 		finishAt:    make(map[model.TaskID]float64),
@@ -161,13 +177,22 @@ type BatchOutcome struct {
 	Tasks    int          `json:"pending_tasks"`
 	Assigned []model.Pair `json:"assigned"`
 	Wasted   int          `json:"wasted"`
+	// Rogue counts allocator pairs dropped for naming a worker that was not
+	// active in the batch (misbehaving custom Allocator); they are never
+	// dispatched.
+	Rogue int `json:"rogue"`
 }
 
 // Tick advances logical time to now and runs one batch process. Time must
-// not go backwards.
+// not go backwards and must be finite: a NaN would poison the logical clock
+// (now < p.now is false for every subsequent time, so the backwards guard
+// could never fire again).
 func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		return nil, fmt.Errorf("server: non-finite tick time %v", now)
+	}
 	if now < p.now {
 		return nil, fmt.Errorf("server: time going backwards (%v < %v)", now, p.now)
 	}
@@ -217,19 +242,34 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 		satisfied[id] = true
 	}
 	b := core.NewBatch(in, bws, pending, satisfied)
+	if !p.noCache {
+		p.cache.Attach(b)
+		if p.verifyCache {
+			if err := b.VerifyIndex(); err != nil {
+				return nil, fmt.Errorf("server: tick %d: engine cache diverged: %w", out.Batch, err)
+			}
+		}
+	}
 	raw := p.alloc.Assign(b)
+	out.Rogue = core.DropUnknownWorkers(b, raw)
+	p.rogue += out.Rogue
 	valid := core.DependencyFixpoint(b, raw)
 	out.Assigned = valid.Pairs
 	out.Wasted = raw.Size() - valid.Size()
 	p.wasted += out.Wasted
 
 	validSet := valid.TaskSet()
-	widOf := make(map[model.WorkerID]int, len(wIdx))
-	for bi, i := range wIdx {
-		widOf[p.workers[i].ID] = bi
-	}
 	for _, pair := range raw.Pairs {
-		i := wIdx[widOf[pair.Worker]]
+		// DropUnknownWorkers already removed pairs naming workers outside
+		// the batch; the guard stays as a backstop so a miss can never
+		// dispatch through batch index 0.
+		bi := b.WorkerIndex(pair.Worker)
+		if bi < 0 {
+			out.Rogue++
+			p.rogue++
+			continue
+		}
+		i := wIdx[bi]
 		w := &p.workers[i]
 		t := &p.tasks[pair.Task]
 		d := p.dist(p.wstate[i].loc, t.Loc)
@@ -263,6 +303,7 @@ type Stats struct {
 	Tasks         int     `json:"tasks"`
 	AssignedTasks int     `json:"assigned_tasks"`
 	WastedPairs   int     `json:"wasted_pairs"`
+	RoguePairs    int     `json:"rogue_pairs"`
 	Allocator     string  `json:"allocator"`
 }
 
@@ -277,6 +318,7 @@ func (p *Platform) Snapshot() Stats {
 		Tasks:         len(p.tasks),
 		AssignedTasks: len(p.assigned),
 		WastedPairs:   p.wasted,
+		RoguePairs:    p.rogue,
 		Allocator:     p.alloc.Name(),
 	}
 }

@@ -38,6 +38,16 @@ type Config struct {
 	// CollectDelays records each completed task's start delay (service
 	// start − task appearance) in Result.Delays for percentile analysis.
 	CollectDelays bool
+	// DisableEngineCache rebuilds every batch's candidate engine from
+	// scratch instead of carrying it across batches incrementally
+	// (core.EngineCache). The two builds agree exactly; the flag exists for
+	// A/B benchmarks and debugging.
+	DisableEngineCache bool
+	// VerifyEngineCache cross-checks the incrementally maintained candidate
+	// engine against a from-scratch build every batch and aborts the run on
+	// divergence. Differential-testing hook; expensive, leave off in
+	// production.
+	VerifyEngineCache bool
 	// OnBatch, when non-nil, observes every batch result.
 	OnBatch func(BatchResult)
 }
@@ -72,6 +82,10 @@ type Result struct {
 	// Delays holds every completed task's start delay when
 	// Config.CollectDelays is set; nil otherwise.
 	Delays []float64
+	// RoguePairs counts assignment pairs dropped because they named a worker
+	// not active in the batch (only a misbehaving custom Allocator produces
+	// them). They score nothing and are never dispatched.
+	RoguePairs int
 	// WorkerAssignments[w] counts tasks worker w conducted.
 	WorkerAssignments map[model.WorkerID]int
 }
@@ -142,6 +156,10 @@ func (p *Platform) Run() (*Result, error) {
 	var delaySum float64
 	var delayCount int
 
+	// The candidate engine is carried across batches: unmoved workers'
+	// strategy sets are revalidated by time arithmetic instead of rebuilt.
+	cache := core.NewEngineCache()
+
 	for batch := 0; batch < maxBatches; batch++ {
 		now := start + float64(batch)*cfg.BatchInterval
 
@@ -180,7 +198,16 @@ func (p *Platform) Run() (*Result, error) {
 				satisfied[id] = true
 			}
 			b := core.NewBatch(in, bws, tasks, satisfied)
+			if !cfg.DisableEngineCache {
+				cache.Attach(b)
+				if cfg.VerifyEngineCache {
+					if err := b.VerifyIndex(); err != nil {
+						return nil, fmt.Errorf("sim: batch %d: engine cache diverged: %w", batch, err)
+					}
+				}
+			}
 			m := cfg.Allocator.Assign(b)
+			res.RoguePairs += core.DropUnknownWorkers(b, m)
 			// Allocators may return raw assignments (the paper's Closest and
 			// Random baselines ignore dependencies); only the valid subset
 			// scores and satisfies dependency obligations. Invalid pairs
@@ -212,13 +239,16 @@ func (p *Platform) Run() (*Result, error) {
 				delete(botched, pair.Task)
 			}
 			order := dependencyOrder(in, m)
-			widOf := make(map[model.WorkerID]int, len(wIdx))
-			for bi, i := range wIdx {
-				widOf[in.Workers[i].ID] = bi
-			}
 			validTask := valid.TaskSet()
 			for _, pair := range order {
-				bi := widOf[pair.Worker]
+				// DropUnknownWorkers already removed pairs naming workers
+				// outside the batch; the guard stays as a backstop so a miss
+				// can never dispatch through batch index 0.
+				bi := b.WorkerIndex(pair.Worker)
+				if bi < 0 {
+					res.RoguePairs++
+					continue
+				}
 				i := wIdx[bi]
 				w := &in.Workers[i]
 				t := in.Task(pair.Task)

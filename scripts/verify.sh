@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repo verification: build, vet, full test suite, then a race-detector pass
 # over the packages with real concurrency (the parallel BatchIndex build in
-# core, the simulator that drives it, and the HTTP server).
+# core, the simulator that drives it, the HTTP server, and the bench harness
+# that sweeps them). vet runs repo-wide and fails the script on any finding
+# (set -e).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,7 +16,7 @@ go vet ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, sim, server)"
-go test -race ./internal/core/... ./internal/sim/... ./internal/server/...
+echo "== go test -race (core, sim, server, bench)"
+go test -race ./internal/core/... ./internal/sim/... ./internal/server/... ./internal/bench/...
 
 echo "verify: OK"
