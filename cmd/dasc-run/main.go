@@ -19,6 +19,7 @@ import (
 
 	"dasc/internal/core"
 	"dasc/internal/dataset"
+	"dasc/internal/obs"
 	"dasc/internal/sim"
 	"dasc/internal/stats"
 	"dasc/internal/viz"
@@ -59,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		interval = fs.Float64("interval", 5, "batch interval for the simulation loop")
 		service  = fs.Float64("service", 0, "service duration per task")
 		trace    = fs.String("trace", "", "write a per-batch CSV trace of the simulation to this file")
+		metrics  = fs.String("metrics", "", "write aggregated run metrics (Prometheus text format) to this file, or - for stdout")
 		poa      = fs.Int("poa", 0, "with -static: sample N random-init game equilibria against the exact optimum (small instances only)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ServiceTime:   *service,
 	}
 	var traceFile *os.File
+	var csvSink func(sim.BatchResult)
 	if *trace != "" {
 		traceFile, err = os.Create(*trace)
 		if err != nil {
@@ -122,10 +125,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := sim.WriteCSVHeader(traceFile); err != nil {
 			return err
 		}
-		cfg.OnBatch = sim.CSVTrace(traceFile, func(err error) {
+		csvSink = sim.CSVTrace(traceFile, func(err error) {
 			fmt.Fprintln(stderr, "trace:", err)
 		})
 	}
+	var reg *obs.Registry
+	var metricsSink func(sim.BatchResult)
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		metricsSink = sim.MetricsSink(reg)
+	}
+	cfg.OnBatch = sim.TeeBatch(csvSink, metricsSink)
 	p, err := sim.New(in, cfg)
 	if err != nil {
 		return err
@@ -137,5 +147,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "algorithm: %s\nbatches: %d\nassigned_pairs: %d\ncompleted_tasks: %d\nexpired_tasks: %d\ntotal_travel: %.4f\nmean_start_delay: %.4f\ntime_ms: %.3f\n",
 		alloc.Name(), res.Batches, res.AssignedPairs, res.CompletedTasks,
 		res.ExpiredTasks, res.TotalTravel, res.MeanStartDelay, timer.ElapsedMS())
+	if reg != nil {
+		if *metrics == "-" {
+			return reg.WriteText(stdout)
+		}
+		return writeFileWith(*metrics, reg.WriteText)
+	}
 	return nil
 }

@@ -115,3 +115,49 @@ func TestRunStaticPoA(t *testing.T) {
 		t.Errorf("missing poa estimate:\n%s", out)
 	}
 }
+
+func TestRunMetricsExposition(t *testing.T) {
+	path := writeExample1(t)
+
+	// -metrics - appends the text exposition after the run summary.
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", path, "-interval", "2", "-metrics", "-"}, &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"assigned_pairs:", "# TYPE dasc_batches_total counter", "dasc_assigned_pairs_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	// -metrics <file> writes the same exposition to disk.
+	mpath := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := run([]string{"-in", path, "-interval", "2", "-metrics", mpath}, &bytes.Buffer{}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "dasc_batches_total") {
+		t.Errorf("metrics file missing counters:\n%s", data)
+	}
+
+	// -metrics composes with -trace: both outputs must be produced.
+	tpath := filepath.Join(t.TempDir(), "trace.csv")
+	mpath2 := filepath.Join(t.TempDir(), "metrics2.prom")
+	if err := run([]string{"-in", path, "-interval", "2", "-trace", tpath, "-metrics", mpath2}, &bytes.Buffer{}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "batch,time,") || len(strings.Split(strings.TrimSpace(string(csv)), "\n")) < 2 {
+		t.Errorf("trace CSV not written alongside metrics:\n%s", csv)
+	}
+	if _, err := os.Stat(mpath2); err != nil {
+		t.Errorf("metrics file not written alongside trace: %v", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -31,14 +32,16 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		alg       = flag.String("alg", core.NameGreedy, "allocator name")
-		seed      = flag.Int64("seed", 1, "allocator seed")
-		interval  = flag.Float64("interval", 5, "batch interval in logical time units")
-		timescale = flag.Float64("timescale", 1, "logical time units per wall-clock second")
-		service   = flag.Float64("service", 0, "service duration per task")
-		manual    = flag.Bool("manual", false, "no automatic ticker; advance time via POST /v1/tick")
-		journal   = flag.String("journal", "", "append-only JSONL event log; replayed on startup to restore state")
+		addr        = flag.String("addr", ":8080", "listen address")
+		alg         = flag.String("alg", core.NameGreedy, "allocator name")
+		seed        = flag.Int64("seed", 1, "allocator seed")
+		interval    = flag.Float64("interval", 5, "batch interval in logical time units")
+		timescale   = flag.Float64("timescale", 1, "logical time units per wall-clock second")
+		service     = flag.Float64("service", 0, "service duration per task")
+		manual      = flag.Bool("manual", false, "no automatic ticker; advance time via POST /v1/tick")
+		journal     = flag.String("journal", "", "append-only JSONL event log; replayed on startup to restore state")
+		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
+		traceDepth  = flag.Int("trace-depth", 0, "per-batch traces kept for GET /v1/trace (0 = default)")
 	)
 	flag.Parse()
 
@@ -47,7 +50,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dasc-server:", err)
 		os.Exit(1)
 	}
-	cfg := server.Config{Allocator: alloc, ServiceTime: *service}
+	cfg := server.Config{Allocator: alloc, ServiceTime: *service, TraceDepth: *traceDepth}
 	if *journal != "" {
 		j, err := server.OpenJournal(*journal)
 		if err != nil {
@@ -78,11 +81,30 @@ func main() {
 	if !*manual {
 		go runTicker(p, *interval, *timescale)
 	}
+	handler := server.Handler(p)
+	if *enablePprof {
+		handler = withPprof(handler)
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	log.Printf("dasc-server: %s allocator, batch interval %g, listening on %s", alloc.Name(), *interval, *addr)
-	if err := http.ListenAndServe(*addr, server.Handler(p)); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, "dasc-server:", err)
 		os.Exit(1)
 	}
+}
+
+// withPprof mounts the net/http/pprof handlers next to the API without
+// going through http.DefaultServeMux (a blank import would profile every
+// binary that links this package; the flag keeps it opt-in).
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // runTicker advances logical time at the configured rate, running one batch

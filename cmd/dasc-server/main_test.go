@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"dasc/internal/core"
@@ -32,5 +34,24 @@ func TestTickOnceAssignsAndLogsWithoutPanicking(t *testing.T) {
 	tickOnce(p, -1)
 	if st := p.Snapshot(); st.Batches != 1 {
 		t.Errorf("backward tick counted: %+v", st)
+	}
+}
+
+func TestWithPprofMountsProfilesAndKeepsAPI(t *testing.T) {
+	p, err := server.NewPlatform(server.Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(withPprof(server.Handler(p)))
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/v1/stats", "/v1/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"dasc/internal/geo"
 	"dasc/internal/model"
+	"dasc/internal/obs"
 )
 
 // BatchWorker is a worker's state at the start of a batch. In the static
@@ -48,6 +49,11 @@ type Batch struct {
 
 	idxOnce sync.Once
 	idx     *BatchIndex
+
+	// rec observes the batch's candidate-engine work (obs.BatchRec is
+	// nil-safe, so the instrumented paths call it unconditionally; nil is
+	// the disabled state and costs one nil check per site).
+	rec *obs.BatchRec
 }
 
 // NewStaticBatch wraps a whole instance as a single batch, the setting of
@@ -96,6 +102,14 @@ func (b *Batch) init() {
 
 // Dist returns the batch's travel metric.
 func (b *Batch) Dist() geo.DistanceFunc { return b.dist }
+
+// SetRecorder installs the batch's instrumentation recorder; nil disables
+// recording. Install it before the candidate engine is built (Index or
+// EngineCache.Attach) or the build's counters are lost.
+func (b *Batch) SetRecorder(r *obs.BatchRec) { b.rec = r }
+
+// Recorder returns the batch's instrumentation recorder, possibly nil.
+func (b *Batch) Recorder() *obs.BatchRec { return b.rec }
 
 // TaskIndex returns the index of task id within b.Tasks, or -1 when the task
 // is not pending in this batch.

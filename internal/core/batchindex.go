@@ -110,7 +110,9 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 		bw := &b.Workers[wi]
 		var set []int32
 		var costs []float64
+		examined := 0
 		appendFeasible := func(ti int32) {
+			examined++
 			t := b.Tasks[ti]
 			if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
 				set = append(set, ti)
@@ -150,6 +152,11 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 			// Buckets of different skills interleave task indexes.
 			sort.Sort(strategyByIndex{set, costs})
 		}
+		// Two nil-safe recorder calls per worker (not per pair): the counts
+		// accumulate locally above, so the disabled path costs two nil
+		// checks per worker.
+		b.rec.AddExamined(int64(examined))
+		b.rec.AddAdmitted(int64(len(set)))
 		idx.strategies[wi] = set
 		idx.costs[wi] = costs
 		return scratch
@@ -276,8 +283,10 @@ func (idx *BatchIndex) TravelCost(wi, ti int) float64 {
 		}
 	}
 	if lo < len(set) && set[lo] == int32(ti) {
+		idx.b.rec.AddMemoHits(1)
 		return idx.costs[wi][lo]
 	}
+	idx.b.rec.AddMemoMisses(1)
 	return idx.b.TravelCost(wi, idx.b.Tasks[ti])
 }
 
@@ -299,7 +308,12 @@ func (idx *BatchIndex) FeasiblePairs() int {
 // exactly — sets, memoized costs, and candidate lists.
 func (b *Batch) VerifyIndex() error {
 	got := b.Index()
+	// The reference rebuild is bookkeeping, not batch work: hide the
+	// recorder so verification doesn't double-count the build.
+	saved := b.rec
+	b.rec = nil
 	want := newBatchIndex(b)
+	b.rec = saved
 	for wi := range want.strategies {
 		if !int32SlicesEqual(got.strategies[wi], want.strategies[wi]) {
 			return fmt.Errorf("core: worker %d strategy set diverges: incremental %v, fresh %v",

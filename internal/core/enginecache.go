@@ -150,6 +150,8 @@ func (c *EngineCache) build(b *Batch) *BatchIndex {
 func (c *EngineCache) reset(b *Batch) *BatchIndex {
 	c.stats.FullRebuilds++
 	c.stats.WorkersRebuilt += len(b.Workers)
+	b.rec.CacheFullRebuild()
+	b.rec.AddCacheWorkersRebuilt(int64(len(b.Workers)))
 	idx := newBatchIndex(b)
 	c.adopt(b, idx)
 	return idx
@@ -171,6 +173,7 @@ func (c *EngineCache) adopt(b *Batch, idx *BatchIndex) {
 		for _, t := range b.Tasks {
 			c.grid.Insert(int(t.ID), t.Loc)
 		}
+		b.rec.AddGridOps(int64(len(b.Tasks)))
 		c.boxScale = scale
 		c.boxArea = box.Width() * box.Height()
 		if c.boxArea <= 0 {
@@ -191,11 +194,14 @@ func (c *EngineCache) incremental(b *Batch) *BatchIndex {
 
 	// Task diff. Departed tasks leave the grid; arrivals enter it and form
 	// the probe set for unmoved workers.
+	departed := 0
+	gridOps := 0
 	for id := range c.pending {
 		if _, ok := b.pending[id]; !ok {
-			c.stats.TasksDeparted++
+			departed++
 			if c.grid != nil {
 				c.grid.Remove(int(id))
+				gridOps++
 			}
 		}
 	}
@@ -205,11 +211,16 @@ func (c *EngineCache) incremental(b *Batch) *BatchIndex {
 			arrived = append(arrived, int32(ti))
 			if c.grid != nil {
 				c.grid.Insert(int(id), b.Tasks[ti].Loc)
+				gridOps++
 			}
 		}
 	}
 	sort.Slice(arrived, func(i, j int) bool { return arrived[i] < arrived[j] })
+	c.stats.TasksDeparted += departed
 	c.stats.TasksArrived += len(arrived)
+	b.rec.AddCacheTasksDeparted(int64(departed))
+	b.rec.AddCacheTasksArrived(int64(len(arrived)))
+	b.rec.AddGridOps(int64(gridOps))
 
 	// Skill buckets: over the arrivals for the revalidation probes, over the
 	// whole batch for worker rebuilds.
@@ -239,9 +250,11 @@ func (c *EngineCache) incremental(b *Batch) *BatchIndex {
 			cw.velocity == bw.W.Velocity && cw.maxDist == bw.W.MaxDist {
 			c.revalidate(b, wi, cw, newBySkill, idx)
 			c.stats.WorkersReused++
+			b.rec.CacheWorkerRevalidated()
 		} else {
 			scratch = c.rebuildWorker(b, wi, bySkill, gridDensity, scratch, idx)
 			c.stats.WorkersRebuilt++
+			b.rec.AddCacheWorkersRebuilt(1)
 		}
 	}
 
@@ -259,18 +272,22 @@ func (c *EngineCache) revalidate(b *Batch, wi int, cw *cachedWorker, newBySkill 
 	bw := &b.Workers[wi]
 	var set []int32
 	var costs []float64
+	reused := 0
 	for k, id := range cw.tasks {
 		ti, ok := b.pending[id]
 		if !ok {
 			continue // task departed
 		}
+		reused++
 		if model.DeadlineFeasible(b.Tasks[ti], bw.ReadyAt, cw.costs[k]) {
 			set = append(set, int32(ti))
 			costs = append(costs, cw.costs[k])
 		}
 	}
+	examined := 0
 	for _, sk := range bw.W.Skills.Skills() {
 		for _, ti := range newBySkill[sk] {
+			examined++
 			t := b.Tasks[ti]
 			if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
 				set = append(set, ti)
@@ -281,6 +298,12 @@ func (c *EngineCache) revalidate(b *Batch, wi int, cw *cachedWorker, newBySkill 
 	// Cached entries follow the previous batch's index order and arrivals
 	// interleave arbitrarily; restore ascending task-index order.
 	sort.Sort(strategyByIndex{set, costs})
+	// Every retained cached entry is a cross-batch memo hit (its travel time
+	// was served from the memo instead of recomputed); only arrival probes
+	// run the exact predicate.
+	b.rec.AddMemoHits(int64(reused))
+	b.rec.AddExamined(int64(examined))
+	b.rec.AddAdmitted(int64(len(set)))
 	idx.strategies[wi] = set
 	idx.costs[wi] = costs
 }
@@ -293,7 +316,9 @@ func (c *EngineCache) rebuildWorker(b *Batch, wi int, bySkill map[model.Skill][]
 	bw := &b.Workers[wi]
 	var set []int32
 	var costs []float64
+	examined := 0
 	appendFeasible := func(ti int32) {
+		examined++
 		t := b.Tasks[ti]
 		if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
 			set = append(set, ti)
@@ -332,6 +357,8 @@ func (c *EngineCache) rebuildWorker(b *Batch, wi int, bySkill map[model.Skill][]
 		}
 	}
 	sort.Sort(strategyByIndex{set, costs})
+	b.rec.AddExamined(int64(examined))
+	b.rec.AddAdmitted(int64(len(set)))
 	idx.strategies[wi] = set
 	idx.costs[wi] = costs
 	return scratch

@@ -1,0 +1,81 @@
+package obs
+
+// The dasc_* metric name inventory. Both platforms report through
+// RecordBatch, so the same names mean the same things on the simulator and
+// the server (and in DESIGN.md §3.6, which documents them).
+const (
+	// Batch loop.
+	MBatchesTotal      = "dasc_batches_total"
+	MBatchWorkersGauge = "dasc_batch_active_workers"
+	MBatchTasksGauge   = "dasc_batch_pending_tasks"
+
+	// Allocation results.
+	MAssignedTotal = "dasc_assigned_pairs_total"
+	MDeferredTotal = "dasc_deferred_pairs_total"
+	MRogueTotal    = "dasc_rogue_pairs_total"
+
+	// EngineCache outcomes.
+	MCacheRevalidatedTotal  = "dasc_cache_workers_revalidated_total"
+	MCacheRebuiltTotal      = "dasc_cache_workers_rebuilt_total"
+	MCacheFullRebuildsTotal = "dasc_cache_full_rebuilds_total"
+	MCacheArrivedTotal      = "dasc_cache_tasks_arrived_total"
+	MCacheDepartedTotal     = "dasc_cache_tasks_departed_total"
+	MCacheGridOpsTotal      = "dasc_cache_grid_ops_total"
+
+	// Travel-time memo.
+	MMemoHitsTotal   = "dasc_memo_hits_total"
+	MMemoMissesTotal = "dasc_memo_misses_total"
+
+	// Pruning effectiveness.
+	MCandExaminedTotal = "dasc_candidates_examined_total"
+	MCandAdmittedTotal = "dasc_candidates_admitted_total"
+
+	// Phase timers (seconds).
+	TPhaseIndex    = "dasc_phase_index_seconds"
+	TPhaseAlloc    = "dasc_phase_alloc_seconds"
+	TPhaseDispatch = "dasc_phase_dispatch_seconds"
+)
+
+// Phase timer range: batch phases run microseconds to tens of milliseconds,
+// so the default [0,10]s histogram (10ms buckets) would put every
+// observation in the first bucket and report useless quantiles. 2000
+// buckets over [0,2]s give 1ms resolution with headroom for a pathological
+// allocator; slower phases clamp into the top bucket but keep an exact sum.
+const (
+	phaseTimerHi      = 2.0
+	phaseTimerBuckets = 2000
+)
+
+// RecordBatch folds one batch trace into the registry under the standard
+// dasc_* names. No-op on a nil registry.
+func RecordBatch(r *Registry, t BatchTrace) {
+	if r == nil {
+		return
+	}
+	r.Counter(MBatchesTotal).Inc()
+	r.Gauge(MBatchWorkersGauge).Set(float64(t.Workers))
+	r.Gauge(MBatchTasksGauge).Set(float64(t.Tasks))
+
+	r.Counter(MAssignedTotal).Add(int64(t.Assigned))
+	r.Counter(MDeferredTotal).Add(int64(t.Deferred))
+	r.Counter(MRogueTotal).Add(int64(t.Rogue))
+
+	r.Counter(MCacheRevalidatedTotal).Add(int64(t.WorkersRevalidated))
+	r.Counter(MCacheRebuiltTotal).Add(int64(t.WorkersRebuilt))
+	if t.FullRebuild {
+		r.Counter(MCacheFullRebuildsTotal).Inc()
+	}
+	r.Counter(MCacheArrivedTotal).Add(int64(t.TasksArrived))
+	r.Counter(MCacheDepartedTotal).Add(int64(t.TasksDeparted))
+	r.Counter(MCacheGridOpsTotal).Add(t.GridOps)
+
+	r.Counter(MMemoHitsTotal).Add(t.MemoHits)
+	r.Counter(MMemoMissesTotal).Add(t.MemoMisses)
+
+	r.Counter(MCandExaminedTotal).Add(t.CandidatesExamined)
+	r.Counter(MCandAdmittedTotal).Add(t.CandidatesAdmitted)
+
+	r.TimerRange(TPhaseIndex, 0, phaseTimerHi, phaseTimerBuckets).Observe(t.IndexBuildMS / 1e3)
+	r.TimerRange(TPhaseAlloc, 0, phaseTimerHi, phaseTimerBuckets).Observe(t.AllocMS / 1e3)
+	r.TimerRange(TPhaseDispatch, 0, phaseTimerHi, phaseTimerBuckets).Observe(t.DispatchMS / 1e3)
+}

@@ -45,6 +45,8 @@ type idResponse struct {
 //	POST /v1/tasks        register a task              → {"id": n}
 //	POST /v1/tick?t=12.5  run a batch at logical time  → BatchOutcome
 //	GET  /v1/stats        counters
+//	GET  /v1/metrics      metric registry, Prometheus text (?format=json for JSON)
+//	GET  /v1/trace        recent per-batch traces (?last=N for the newest N)
 //	GET  /v1/assignments  all valid pairs so far
 //	GET  /v1/instance     dataset JSON (archivable)
 //	GET  /v1/svg          spatial snapshot as SVG
@@ -112,6 +114,36 @@ func Handler(p *Platform) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "text":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := p.Metrics().WriteText(w); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+			}
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			if err := p.Metrics().WriteJSON(w); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+			}
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown ?format=%q (want text or json)", format))
+		}
+	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		// Same hardening stance as /v1/tick?t=: strict integer parse, no
+		// silent defaults for garbage.
+		n := p.Traces().Len()
+		if raw := r.URL.Query().Get("last"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("invalid ?last=%q: want a positive integer", raw))
+				return
+			}
+			n = v // Last clamps over-asks to what is buffered
+		}
+		writeJSON(w, http.StatusOK, p.Traces().Last(n))
 	})
 	mux.HandleFunc("GET /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"dasc/internal/core"
 	"dasc/internal/geo"
 	"dasc/internal/model"
+	"dasc/internal/obs"
 )
 
 // Platform is the mutable, concurrency-safe platform state. Logical time is
@@ -31,6 +33,13 @@ type Platform struct {
 	cache       *core.EngineCache
 	noCache     bool
 	verifyCache bool
+
+	// reg and traces are the server's observability surface: every tick is
+	// recorded as an obs.BatchTrace, folded into reg (GET /v1/metrics) and
+	// buffered in traces (GET /v1/trace). Always on — the per-tick cost is
+	// a handful of atomic adds and three clock reads.
+	reg    *obs.Registry
+	traces *obs.TraceRing
 
 	workers []model.Worker
 	wstate  []workerState
@@ -74,6 +83,9 @@ type Config struct {
 	// engine against a from-scratch build on every tick and fails the tick
 	// on divergence. Differential-testing hook; expensive.
 	VerifyEngineCache bool
+	// TraceDepth is how many recent batch traces GET /v1/trace can serve;
+	// zero means obs.DefaultTraceDepth.
+	TraceDepth int
 }
 
 // NewPlatform creates an empty platform.
@@ -96,6 +108,8 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		cache:       core.NewEngineCache(),
 		noCache:     cfg.DisableEngineCache,
 		verifyCache: cfg.VerifyEngineCache,
+		reg:         obs.NewRegistry(),
+		traces:      obs.NewTraceRing(cfg.TraceDepth),
 		assigned:    make(map[model.TaskID]model.WorkerID),
 		botched:     make(map[model.TaskID]bool),
 		finishAt:    make(map[model.TaskID]float64),
@@ -181,6 +195,12 @@ type BatchOutcome struct {
 	// active in the batch (misbehaving custom Allocator); they are never
 	// dispatched.
 	Rogue int `json:"rogue"`
+	// EngineCache outcomes for this tick: unmoved workers revalidated by
+	// time arithmetic, workers rebuilt through the pruned scan, and
+	// travel-time lookups served from a memo.
+	WorkersRevalidated int   `json:"workers_revalidated"`
+	WorkersRebuilt     int   `json:"workers_rebuilt"`
+	MemoHits           int64 `json:"memo_hits"`
 }
 
 // Tick advances logical time to now and runs one batch process. Time must
@@ -204,6 +224,7 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 	p.now = now
 	out := &BatchOutcome{Batch: p.batches, Time: now, Assigned: []model.Pair{}}
 	p.batches++
+	rec := obs.NewBatchRec(out.Batch, now)
 
 	in := &model.Instance{Workers: p.workers, Tasks: p.tasks, Dist: p.dist}
 	var bws []core.BatchWorker
@@ -233,7 +254,9 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 		pending = append(pending, t)
 	}
 	out.Workers, out.Tasks = len(bws), len(pending)
+	rec.SetPopulation(out.Workers, out.Tasks)
 	if len(bws) == 0 || len(pending) == 0 {
+		p.recordTick(out, rec)
 		return out, nil
 	}
 
@@ -242,6 +265,8 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 		satisfied[id] = true
 	}
 	b := core.NewBatch(in, bws, pending, satisfied)
+	b.SetRecorder(rec)
+	phaseStart := time.Now()
 	if !p.noCache {
 		p.cache.Attach(b)
 		if p.verifyCache {
@@ -249,7 +274,13 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 				return nil, fmt.Errorf("server: tick %d: engine cache diverged: %w", out.Batch, err)
 			}
 		}
+	} else {
+		// Force the lazy build inside the timed window so the index phase
+		// is attributed correctly (the build is idempotent).
+		b.Index()
 	}
+	indexD := time.Since(phaseStart)
+	phaseStart = time.Now()
 	raw := p.alloc.Assign(b)
 	out.Rogue = core.DropUnknownWorkers(b, raw)
 	p.rogue += out.Rogue
@@ -257,6 +288,8 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 	out.Assigned = valid.Pairs
 	out.Wasted = raw.Size() - valid.Size()
 	p.wasted += out.Wasted
+	allocD := time.Since(phaseStart)
+	phaseStart = time.Now()
 
 	validSet := valid.TaskSet()
 	for _, pair := range raw.Pairs {
@@ -292,8 +325,28 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 			p.botched[pair.Task] = true
 		}
 	}
+	rec.SetOutcome(valid.Size(), out.Wasted, out.Rogue)
+	rec.ObservePhases(indexD, allocD, time.Since(phaseStart))
+	p.recordTick(out, rec)
 	return out, nil
 }
+
+// recordTick finalises the tick's trace, copies the cache counters onto the
+// outcome, and publishes both to the trace ring and the metric registry.
+func (p *Platform) recordTick(out *BatchOutcome, rec *obs.BatchRec) {
+	tr := rec.Finish()
+	out.WorkersRevalidated = tr.WorkersRevalidated
+	out.WorkersRebuilt = tr.WorkersRebuilt
+	out.MemoHits = tr.MemoHits
+	p.traces.Add(tr)
+	obs.RecordBatch(p.reg, tr)
+}
+
+// Metrics returns the platform's metric registry (GET /v1/metrics).
+func (p *Platform) Metrics() *obs.Registry { return p.reg }
+
+// Traces returns the platform's recent batch traces (GET /v1/trace).
+func (p *Platform) Traces() *obs.TraceRing { return p.traces }
 
 // Stats is a snapshot of platform counters.
 type Stats struct {
@@ -305,6 +358,12 @@ type Stats struct {
 	WastedPairs   int     `json:"wasted_pairs"`
 	RoguePairs    int     `json:"rogue_pairs"`
 	Allocator     string  `json:"allocator"`
+	// Cumulative EngineCache behaviour across all ticks (also exposed, with
+	// the full per-phase breakdown, on /v1/metrics).
+	WorkersRevalidated int64 `json:"workers_revalidated"`
+	WorkersRebuilt     int64 `json:"workers_rebuilt"`
+	MemoHits           int64 `json:"memo_hits"`
+	MemoMisses         int64 `json:"memo_misses"`
 }
 
 // Snapshot returns current counters.
@@ -320,6 +379,11 @@ func (p *Platform) Snapshot() Stats {
 		WastedPairs:   p.wasted,
 		RoguePairs:    p.rogue,
 		Allocator:     p.alloc.Name(),
+
+		WorkersRevalidated: p.reg.Counter(obs.MCacheRevalidatedTotal).Value(),
+		WorkersRebuilt:     p.reg.Counter(obs.MCacheRebuiltTotal).Value(),
+		MemoHits:           p.reg.Counter(obs.MMemoHitsTotal).Value(),
+		MemoMisses:         p.reg.Counter(obs.MMemoMissesTotal).Value(),
 	}
 }
 

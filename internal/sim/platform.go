@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"dasc/internal/core"
 	"dasc/internal/geo"
 	"dasc/internal/model"
+	"dasc/internal/obs"
 )
 
 // Config parameterises a simulation run.
@@ -48,7 +50,11 @@ type Config struct {
 	// divergence. Differential-testing hook; expensive, leave off in
 	// production.
 	VerifyEngineCache bool
-	// OnBatch, when non-nil, observes every batch result.
+	// OnBatch, when non-nil, observes every batch result. It fires after the
+	// batch's dispatches, so the result carries a complete BatchTrace
+	// (phase timings included). Setting it enables per-batch
+	// instrumentation; with it nil the batch loop runs with a nil recorder
+	// and pays nothing.
 	OnBatch func(BatchResult)
 }
 
@@ -59,6 +65,9 @@ type BatchResult struct {
 	Workers    int     // active workers presented to the allocator
 	Tasks      int     // pending tasks presented to the allocator
 	Assignment *model.Assignment
+	// Trace is the batch's instrumentation record: phase timings, candidate
+	// engine and cache outcomes, allocation results.
+	Trace obs.BatchTrace
 }
 
 // Result aggregates a whole run.
@@ -198,6 +207,17 @@ func (p *Platform) Run() (*Result, error) {
 				satisfied[id] = true
 			}
 			b := core.NewBatch(in, bws, tasks, satisfied)
+			// Instrumentation is driven by the observer: no OnBatch sink
+			// means a nil recorder, and the engine's recording sites reduce
+			// to nil checks.
+			var rec *obs.BatchRec
+			var indexD, allocD, dispatchD time.Duration
+			var phaseStart time.Time
+			if cfg.OnBatch != nil {
+				rec = obs.NewBatchRec(batch, now)
+				b.SetRecorder(rec)
+				phaseStart = time.Now()
+			}
 			if !cfg.DisableEngineCache {
 				cache.Attach(b)
 				if cfg.VerifyEngineCache {
@@ -205,9 +225,18 @@ func (p *Platform) Run() (*Result, error) {
 						return nil, fmt.Errorf("sim: batch %d: engine cache diverged: %w", batch, err)
 					}
 				}
+			} else if rec != nil {
+				// Force the lazy build inside the timed window so the index
+				// phase is attributed correctly (the build is idempotent).
+				b.Index()
+			}
+			if rec != nil {
+				indexD = time.Since(phaseStart)
+				phaseStart = time.Now()
 			}
 			m := cfg.Allocator.Assign(b)
-			res.RoguePairs += core.DropUnknownWorkers(b, m)
+			rogue := core.DropUnknownWorkers(b, m)
+			res.RoguePairs += rogue
 			// Allocators may return raw assignments (the paper's Closest and
 			// Random baselines ignore dependencies); only the valid subset
 			// scores and satisfies dependency obligations. Invalid pairs
@@ -215,12 +244,8 @@ func (p *Platform) Run() (*Result, error) {
 			// they are simply wasted, exactly the penalty the paper charges
 			// the oblivious baselines.
 			valid := core.DependencyFixpoint(b, m)
-			if cfg.OnBatch != nil {
-				cfg.OnBatch(BatchResult{
-					Index: batch, Time: now,
-					Workers: len(bws), Tasks: len(tasks),
-					Assignment: valid,
-				})
+			if rec != nil {
+				allocD = time.Since(phaseStart)
 			}
 			res.AssignedPairs += valid.Size()
 			res.AssignedWeight += valid.WeightSum(in)
@@ -240,6 +265,9 @@ func (p *Platform) Run() (*Result, error) {
 			}
 			order := dependencyOrder(in, m)
 			validTask := valid.TaskSet()
+			if rec != nil {
+				phaseStart = time.Now()
+			}
 			for _, pair := range order {
 				// DropUnknownWorkers already removed pairs naming workers
 				// outside the batch; the guard stays as a backstop so a miss
@@ -247,6 +275,7 @@ func (p *Platform) Run() (*Result, error) {
 				bi := b.WorkerIndex(pair.Worker)
 				if bi < 0 {
 					res.RoguePairs++
+					rogue++
 					continue
 				}
 				i := wIdx[bi]
@@ -278,6 +307,18 @@ func (p *Platform) Run() (*Result, error) {
 						res.Delays = append(res.Delays, serviceStart-t.Start)
 					}
 				}
+			}
+			if rec != nil {
+				dispatchD = time.Since(phaseStart)
+				rec.SetPopulation(len(bws), len(tasks))
+				rec.SetOutcome(valid.Size(), m.Size()-valid.Size(), rogue)
+				rec.ObservePhases(indexD, allocD, dispatchD)
+				cfg.OnBatch(BatchResult{
+					Index: batch, Time: now,
+					Workers: len(bws), Tasks: len(tasks),
+					Assignment: valid,
+					Trace:      rec.Finish(),
+				})
 			}
 		}
 		res.Batches++

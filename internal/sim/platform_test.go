@@ -351,7 +351,7 @@ func TestCSVTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if lines[0] != "batch,time,active_workers,pending_tasks,assigned" {
+	if !strings.HasPrefix(lines[0], "batch,time,active_workers,pending_tasks,assigned,") {
 		t.Errorf("header = %q", lines[0])
 	}
 	if len(lines) < 2 {

@@ -11,11 +11,10 @@ import (
 // the harness to summarise per-batch score and latency distributions.
 // Values outside the range clamp into the edge buckets.
 type Histogram struct {
-	lo, hi  float64
-	counts  []int
-	total   int
-	sum     float64
-	underHi bool
+	lo, hi float64
+	counts []int
+	total  int
+	sum    float64
 }
 
 // NewHistogram creates a histogram with the given bucket count over
@@ -31,9 +30,11 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	return &Histogram{lo: lo, hi: hi, counts: make([]int, buckets)}
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite values are dropped: a NaN has no
+// bucket, and a single ±Inf would clamp into an edge bucket while poisoning
+// the running sum (and so Mean) forever.
 func (h *Histogram) Add(v float64) {
-	if math.IsNaN(v) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	idx := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
@@ -50,6 +51,9 @@ func (h *Histogram) Add(v float64) {
 
 // Total returns the number of observations.
 func (h *Histogram) Total() int { return h.total }
+
+// Sum returns the sum of the observations.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean returns the mean of the observations (NaN when empty).
 func (h *Histogram) Mean() float64 {

@@ -131,6 +131,63 @@ func TestHistogramQuantileAndMean(t *testing.T) {
 	}
 }
 
+func TestHistogramIgnoresNonFinite(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	h.Add(5)
+	h.Add(math.Inf(1))  // would blow out the top bucket and the sum
+	h.Add(math.Inf(-1)) // would blow out the bottom bucket and the sum
+	h.Add(math.NaN())
+	if h.Total() != 1 {
+		t.Errorf("Total = %d, want 1", h.Total())
+	}
+	if h.Sum() != 5 || h.Mean() != 5 {
+		t.Errorf("Sum = %v, Mean = %v, want 5, 5", h.Sum(), h.Mean())
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram(0, 10, 1)
+	for i := 0; i < 4; i++ {
+		h.Add(float64(i))
+	}
+	// With one bucket the quantile interpolates linearly across the whole
+	// range and must stay inside it at every q.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := h.Quantile(q)
+		if got < 0 || got > 10 {
+			t.Errorf("Quantile(%v) = %v, outside [0, 10]", q, got)
+		}
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("single-bucket median = %v, want 5", got)
+	}
+}
+
+func TestHistogramQuantileAllClamped(t *testing.T) {
+	// Every observation clamps into an edge bucket; quantiles must still be
+	// finite and inside [lo, hi].
+	h := NewHistogram(0, 1, 4)
+	for i := 0; i < 10; i++ {
+		h.Add(100) // all in the top bucket
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("top-clamped Quantile(%v) = %v", q, got)
+		}
+	}
+	g := NewHistogram(0, 1, 4)
+	for i := 0; i < 10; i++ {
+		g.Add(-100) // all in the bottom bucket
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := g.Quantile(q)
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("bottom-clamped Quantile(%v) = %v", q, got)
+		}
+	}
+}
+
 func TestHistogramRender(t *testing.T) {
 	h := NewHistogram(0, 4, 2)
 	h.Add(1)

@@ -1,11 +1,19 @@
 #!/bin/sh
-# Repo verification: build, vet, full test suite, then a race-detector pass
-# over the packages with real concurrency (the parallel BatchIndex build in
-# core, the simulator that drives it, the HTTP server, and the bench harness
-# that sweeps them). vet runs repo-wide and fails the script on any finding
-# (set -e).
+# Repo verification: formatting gate, build, vet, full test suite, then a
+# race-detector pass over the packages with real concurrency (the parallel
+# BatchIndex build in core, the obs atomics it feeds, the simulator that
+# drives it, the HTTP server, and the bench harness that sweeps them). vet
+# runs repo-wide and fails the script on any finding (set -e).
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go build"
 go build ./...
@@ -16,7 +24,7 @@ go vet ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, sim, server, bench)"
-go test -race ./internal/core/... ./internal/sim/... ./internal/server/... ./internal/bench/...
+echo "== go test -race (core, obs, sim, server, bench)"
+go test -race ./internal/core/... ./internal/obs/... ./internal/sim/... ./internal/server/... ./internal/bench/...
 
 echo "verify: OK"
