@@ -114,6 +114,7 @@ func benchInstance(b *testing.B, scale float64) *model.Instance {
 func benchAllocator(b *testing.B, alloc core.Allocator) {
 	b.Helper()
 	in := benchInstance(b, 0.1) // 500 workers × 500 tasks
+	b.ReportAllocs()
 	b.ResetTimer()
 	var score int
 	for i := 0; i < b.N; i++ {
@@ -142,6 +143,7 @@ func BenchmarkAllocDFSSmall(b *testing.B) {
 		b.Fatal(err)
 	}
 	d := core.NewDFS(core.DFSOptions{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Assign(core.NewStaticBatch(in))
@@ -161,6 +163,7 @@ func BenchmarkHungarian64x96(b *testing.B) {
 			cost[i][j] = float64(uint64(seed)>>40) / 1e6
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := matching.Hungarian(cost); err != nil {
@@ -179,6 +182,7 @@ func BenchmarkHopcroftKarp(b *testing.B) {
 			bg.AddEdge(u, int(uint64(seed)>>33)%right)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bg.MaxMatchingHK()
@@ -188,6 +192,7 @@ func BenchmarkHopcroftKarp(b *testing.B) {
 func BenchmarkCandidateIndexTasksFor(b *testing.B) {
 	in := benchInstance(b, 0.1)
 	ci := model.NewCandidateIndex(in)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ci.TasksFor(&in.Workers[i%len(in.Workers)])
@@ -199,6 +204,7 @@ func BenchmarkCandidateIndexTasksFor(b *testing.B) {
 func BenchmarkCandidateLinearScan(b *testing.B) {
 	in := benchInstance(b, 0.1)
 	dist := in.Distance()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w := &in.Workers[i%len(in.Workers)]
@@ -218,6 +224,7 @@ func BenchmarkCandidateLinearScan(b *testing.B) {
 // 5K×8K point) lives in internal/bench.
 func BenchmarkBatchIndexBuild(b *testing.B) {
 	in := benchInstance(b, 0.1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.NewStaticBatch(in).Index()
@@ -226,6 +233,7 @@ func BenchmarkBatchIndexBuild(b *testing.B) {
 
 func BenchmarkBatchStrategyScan(b *testing.B) {
 	in := benchInstance(b, 0.1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.NewStaticBatch(in).ScanStrategySets()
@@ -234,6 +242,7 @@ func BenchmarkBatchStrategyScan(b *testing.B) {
 
 func BenchmarkSimulateGreedy(b *testing.B) {
 	in := benchInstance(b, 0.05)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dasc.Simulate(in, dasc.SimConfig{Allocator: dasc.NewGreedy()}); err != nil {

@@ -28,6 +28,7 @@ func largestRegistryInstance(b *testing.B) *model.Instance {
 // per-task candidate lists, and the travel-time memo in one pruned pass.
 func BenchmarkBatchCandidatesIndexed(b *testing.B) {
 	in := largestRegistryInstance(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pairs int
 	for i := 0; i < b.N; i++ {
@@ -41,6 +42,7 @@ func BenchmarkBatchCandidatesIndexed(b *testing.B) {
 // worker side alone: every worker × every task feasibility scan.
 func BenchmarkBatchCandidatesScanStrategy(b *testing.B) {
 	in := largestRegistryInstance(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		batch := core.NewStaticBatch(in)
@@ -53,6 +55,7 @@ func BenchmarkBatchCandidatesScanStrategy(b *testing.B) {
 // two full O(n·m) passes per batch.
 func BenchmarkBatchCandidatesScanFull(b *testing.B) {
 	in := largestRegistryInstance(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		batch := core.NewStaticBatch(in)

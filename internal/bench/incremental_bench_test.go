@@ -107,6 +107,7 @@ const benchTicks = 8
 //	go test ./internal/bench -bench BenchmarkIncrementalEngine -benchtime 3x
 func BenchmarkIncrementalEngineCached(b *testing.B) {
 	tr := newTickTrace(b, benchTicks)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pairs int
 	for i := 0; i < b.N; i++ {
@@ -126,6 +127,7 @@ func BenchmarkIncrementalEngineCached(b *testing.B) {
 // platforms).
 func BenchmarkIncrementalEngineScratch(b *testing.B) {
 	tr := newTickTrace(b, benchTicks)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pairs int
 	for i := 0; i < b.N; i++ {

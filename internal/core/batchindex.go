@@ -106,17 +106,17 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 		gridDensity = float64(len(b.Tasks)) / area
 	}
 
-	build := func(wi int, scratch []int) []int {
+	build := func(wi int, sc *buildScratch) {
 		bw := &b.Workers[wi]
-		var set []int32
-		var costs []float64
+		sc.set = sc.set[:0]
+		sc.costs = sc.costs[:0]
 		examined := 0
 		appendFeasible := func(ti int32) {
 			examined++
 			t := b.Tasks[ti]
 			if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
-				set = append(set, ti)
-				costs = append(costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
+				sc.set = append(sc.set, ti)
+				sc.costs = append(sc.costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
 			}
 		}
 		// Size of the skill-bucket pool for this worker.
@@ -136,9 +136,9 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 			useGrid = discPool < float64(skillPool)
 		}
 		if useGrid {
-			scratch = grid.Within(bw.Loc, boxScale*(bw.DistBudget+model.DistEps), scratch[:0])
-			sort.Ints(scratch)
-			for _, ti := range scratch {
+			sc.grid = grid.Within(bw.Loc, boxScale*(bw.DistBudget+model.DistEps), sc.grid[:0])
+			sort.Ints(sc.grid)
+			for _, ti := range sc.grid {
 				if bw.W.Skills.Has(b.Tasks[ti].Requires) {
 					appendFeasible(int32(ti))
 				}
@@ -150,16 +150,15 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 				}
 			}
 			// Buckets of different skills interleave task indexes.
-			sort.Sort(strategyByIndex{set, costs})
+			sc.sortStrategy()
 		}
 		// Two nil-safe recorder calls per worker (not per pair): the counts
 		// accumulate locally above, so the disabled path costs two nil
 		// checks per worker.
 		b.rec.AddExamined(int64(examined))
-		b.rec.AddAdmitted(int64(len(set)))
-		idx.strategies[wi] = set
-		idx.costs[wi] = costs
-		return scratch
+		b.rec.AddAdmitted(int64(len(sc.set)))
+		idx.strategies[wi] = sc.ints.carve(sc.set)
+		idx.costs[wi] = sc.floats.carve(sc.costs)
 	}
 
 	nw := len(b.Workers)
@@ -167,18 +166,19 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 		procs = (nw + buildChunk - 1) / buildChunk
 	}
 	if nw < minParallelWorkers || procs <= 1 {
-		var scratch []int
+		var sc buildScratch
 		for wi := 0; wi < nw; wi++ {
-			scratch = build(wi, scratch)
+			build(wi, &sc)
 		}
+		sc.flushArena(b)
 	} else {
+		scs := make([]buildScratch, procs)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for p := 0; p < procs; p++ {
 			wg.Add(1)
-			go func() {
+			go func(sc *buildScratch) {
 				defer wg.Done()
-				var scratch []int
 				for {
 					lo := int(next.Add(buildChunk)) - buildChunk
 					if lo >= nw {
@@ -189,12 +189,15 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 						hi = nw
 					}
 					for wi := lo; wi < hi; wi++ {
-						scratch = build(wi, scratch)
+						build(wi, sc)
 					}
 				}
-			}()
+			}(&scs[p])
 		}
 		wg.Wait()
+		for p := range scs {
+			scs[p].flushArena(b)
+		}
 	}
 
 	idx.invertStrategies()
@@ -204,17 +207,24 @@ func newBatchIndexN(b *Batch, procs int) *BatchIndex {
 // invertStrategies derives the per-task candidate lists from the strategy
 // sets. Iterating workers ascending keeps every list ascending without a
 // sort. Shared by the from-scratch build and the incremental EngineCache
-// build so both produce structurally identical indexes.
+// build so both produce structurally identical indexes. All lists are
+// carved out of one backing array sized by the exact per-task counts, so
+// the inversion costs two allocations, not one per task.
 func (idx *BatchIndex) invertStrategies() {
 	counts := make([]int32, len(idx.candidates))
+	total := 0
 	for wi := range idx.strategies {
 		for _, ti := range idx.strategies[wi] {
 			counts[ti]++
 		}
+		total += len(idx.strategies[wi])
 	}
+	backing := make([]int32, total)
+	off := 0
 	for ti, n := range counts {
 		if n > 0 {
-			idx.candidates[ti] = make([]int32, 0, n)
+			idx.candidates[ti] = backing[off : off : off+int(n)]
+			off += int(n)
 		}
 	}
 	for wi := range idx.strategies {
@@ -246,18 +256,22 @@ func pendingBBox(b *Batch) geo.BBox {
 }
 
 // strategyByIndex sorts a strategy set ascending by task index, keeping the
-// cost slice aligned.
+// cost slice aligned. The methods take a pointer receiver so a scratch-held
+// instance converts to sort.Interface without boxing a fresh value per
+// worker (sortStrategyByIndex is the single conversion site).
 type strategyByIndex struct {
 	set   []int32
 	costs []float64
 }
 
-func (s strategyByIndex) Len() int           { return len(s.set) }
-func (s strategyByIndex) Less(i, j int) bool { return s.set[i] < s.set[j] }
-func (s strategyByIndex) Swap(i, j int) {
+func (s *strategyByIndex) Len() int           { return len(s.set) }
+func (s *strategyByIndex) Less(i, j int) bool { return s.set[i] < s.set[j] }
+func (s *strategyByIndex) Swap(i, j int) {
 	s.set[i], s.set[j] = s.set[j], s.set[i]
 	s.costs[i], s.costs[j] = s.costs[j], s.costs[i]
 }
+
+func sortStrategyByIndex(s *strategyByIndex) { sort.Sort(s) }
 
 // StrategySet returns worker wi's feasible pending-task indexes, ascending.
 // The slice is shared with the index — callers must not mutate it.

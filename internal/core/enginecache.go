@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
-	"reflect"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"dasc/internal/geo"
 	"dasc/internal/model"
@@ -36,10 +38,19 @@ import (
 //     required skill (for unmoved workers; moved workers see them through
 //     their rebuild).
 //
-// The incremental build is exactly equal to newBatchIndex — same sets, same
-// memoized costs, same candidate lists — which Batch.VerifyIndex checks
-// differentially, the same pattern as ScanStrategySets for the single-batch
-// engine.
+// The per-worker revalidate/rebuild loop fans out over the same
+// deterministic chunked goroutine pool as the from-scratch build: each
+// goroutine owns disjoint index slots and its own scratch buffers and slab
+// arenas, so the result is bit-identical to the serial walk (and to
+// newBatchIndex, which Batch.VerifyIndex checks differentially).
+//
+// Memory ownership is explicit and one-way: the BatchIndex returned for a
+// batch owns its arena-backed strategy/cost/candidate slices and is
+// immutable once returned; the cache keeps its own copies (cachedWorker
+// structs from a recycled free list, task/cost rows in cache-owned
+// buffers reused batch over batch). The cache never holds a reference into
+// an index it handed out, so recycling cache state can never mutate a
+// previously returned index (TestEngineCacheNeverMutatesReturnedIndex).
 //
 // Contract: a cache belongs to one platform. The travel metric must not
 // change between batches (guarded best-effort by function-pointer identity:
@@ -51,15 +62,37 @@ import (
 type EngineCache struct {
 	valid   bool
 	distPtr uintptr
+	// distID memoizes the reflect-derived code pointer of the metric, so
+	// the identity check costs a pointer compare per Attach instead of a
+	// reflection walk.
+	distID geo.FuncID
 
 	// workers holds the last batch's per-worker state and strategy sets,
-	// keyed by worker ID. Workers absent from the current batch are dropped:
-	// in the platforms a worker only disappears by being assigned (and so
-	// moving) or by leaving its window, but dropping keeps the cache sound
-	// for any caller.
+	// keyed by worker ID. The map is reused across batches: present
+	// workers are updated in place, departed ones are deleted and their
+	// structs recycled through the free list. In the platforms a worker
+	// only disappears by being assigned (and so moving) or by leaving its
+	// window, but dropping keeps the cache sound for any caller.
 	workers map[model.WorkerID]*cachedWorker
-	// pending is the set of task IDs that were pending in the last batch.
+	// pending is the set of task IDs pending in the last batch, maintained
+	// in place by the per-batch task diff (and rebuilt only on adopt).
 	pending map[model.TaskID]bool
+
+	// free recycles cachedWorker structs of departed workers, buffers
+	// included; structs/ids/floats are the slabs new cache-side
+	// allocations are carved from.
+	free    []*cachedWorker
+	structs slab[cachedWorker]
+	ids     slab[model.TaskID]
+	floats  slab[float64]
+	// gen marks which absorb pass last touched a cachedWorker; entries
+	// left behind by the current pass have departed and are swept into
+	// the free list. Every surviving entry is restamped every batch, so
+	// wrap-around cannot produce a stale match.
+	gen uint32
+
+	// arrived is the reusable arrival-probe buffer of the task diff.
+	arrived []int32
 
 	// grid spatially indexes the pending task locations across batches,
 	// keyed by int(TaskID); maintained by Insert/Remove as tasks arrive and
@@ -82,9 +115,12 @@ type cachedWorker struct {
 
 	start, wait, velocity, maxDist float64
 
+	gen uint32
+
 	// tasks and costs mirror the worker's strategy set by task ID (batch
 	// indexes do not survive across batches) with the aligned travel-time
-	// memo.
+	// memo. Both slices are owned by the cache — they are copies, never
+	// views into a returned BatchIndex — and are reused batch over batch.
 	tasks []model.TaskID
 	costs []float64
 }
@@ -95,6 +131,7 @@ type EngineCacheStats struct {
 	FullRebuilds   int // batches built entirely from scratch
 	WorkersReused  int // strategy sets revalidated by time arithmetic
 	WorkersRebuilt int // strategy sets rebuilt through the pruned scan
+	WorkersPooled  int // cachedWorker structs recycled from the free list
 	TasksArrived   int // tasks probed as new arrivals
 	TasksDeparted  int // tasks dropped from the cache and grid
 }
@@ -107,14 +144,24 @@ func NewEngineCache() *EngineCache {
 // Stats returns the cache's counters so far.
 func (c *EngineCache) Stats() EngineCacheStats { return c.stats }
 
+// PoolOccupancy returns how many recycled cachedWorker structs the free
+// list currently holds.
+func (c *EngineCache) PoolOccupancy() int { return len(c.free) }
+
 // Attach installs the cache-built candidate engine as b's index (what
 // b.Index() and every allocator will consume) and absorbs the batch so the
 // next Attach can go incremental. If the batch's index was already built
 // (someone called b.Index() first), that index is absorbed instead.
 func (c *EngineCache) Attach(b *Batch) *BatchIndex {
+	return c.attachN(b, runtime.NumCPU())
+}
+
+// attachN is Attach with an explicit fan-out bound, so tests can force the
+// concurrent incremental path on any machine.
+func (c *EngineCache) attachN(b *Batch, procs int) *BatchIndex {
 	built := false
 	b.idxOnce.Do(func() {
-		b.idx = c.build(b)
+		b.idx = c.buildN(b, procs)
 		built = true
 	})
 	if !built {
@@ -125,25 +172,16 @@ func (c *EngineCache) Attach(b *Batch) *BatchIndex {
 	return b.idx
 }
 
-// distFuncPtr identifies a metric by its code pointer, the same best-effort
-// identity geo.EuclideanBoundScale uses for its recognition switch.
-func distFuncPtr(f geo.DistanceFunc) uintptr {
-	if f == nil {
-		return 0
-	}
-	return reflect.ValueOf(f).Pointer()
-}
-
-func (c *EngineCache) build(b *Batch) *BatchIndex {
+func (c *EngineCache) buildN(b *Batch, procs int) *BatchIndex {
 	c.stats.Batches++
-	dp := distFuncPtr(b.dist)
+	dp := c.distID.Of(b.dist)
 	if !c.valid || dp != c.distPtr ||
 		// A grid-able metric with no grid (first populated batch after an
 		// empty one) cannot be maintained incrementally; rebuild to get one.
 		(c.gridable && c.grid == nil && len(b.Tasks) > 0) {
 		return c.reset(b)
 	}
-	return c.incremental(b)
+	return c.incrementalN(b, procs)
 }
 
 // reset performs a from-scratch build and adopts the result.
@@ -162,7 +200,7 @@ func (c *EngineCache) reset(b *Batch) *BatchIndex {
 // (re)creates the maintained grid over the batch's pending tasks, and
 // absorbs the worker states and strategy sets.
 func (c *EngineCache) adopt(b *Batch, idx *BatchIndex) {
-	c.distPtr = distFuncPtr(b.dist)
+	c.distPtr = c.distID.Of(b.dist)
 	c.grid = nil
 	c.boxScale, c.boxArea = 0, 0
 	scale, ok := geo.EuclideanBoundScale(b.In.Dist)
@@ -180,11 +218,23 @@ func (c *EngineCache) adopt(b *Batch, idx *BatchIndex) {
 			c.boxArea = 1e-18
 		}
 	}
-	c.absorb(b, idx)
+	c.absorbWorkers(b, idx)
+	c.refreshPending(b)
 }
 
-// incremental builds the batch's index from the cached previous batch.
-func (c *EngineCache) incremental(b *Batch) *BatchIndex {
+// cacheScratch is one incremental-build goroutine's private state: the
+// shared build scratch (buffers + slabs) plus outcome counters flushed
+// once per goroutine instead of once per worker.
+type cacheScratch struct {
+	bs      buildScratch
+	reused  int64
+	rebuilt int64
+}
+
+// incrementalN builds the batch's index from the cached previous batch,
+// fanning the per-worker revalidate/rebuild loop out over up to procs
+// goroutines (the same deterministic chunked pool as newBatchIndexN).
+func (c *EngineCache) incrementalN(b *Batch, procs int) *BatchIndex {
 	idx := &BatchIndex{
 		b:          b,
 		strategies: make([][]int32, len(b.Workers)),
@@ -192,30 +242,35 @@ func (c *EngineCache) incremental(b *Batch) *BatchIndex {
 		candidates: make([][]int32, len(b.Tasks)),
 	}
 
-	// Task diff. Departed tasks leave the grid; arrivals enter it and form
-	// the probe set for unmoved workers.
+	// Task diff, applied to the cache state in place: departed tasks leave
+	// c.pending and the grid, arrivals enter both and form the probe set
+	// for unmoved workers. After the diff c.pending equals the current
+	// batch's pending set, so absorb needs no re-keying.
 	departed := 0
 	gridOps := 0
 	for id := range c.pending {
 		if _, ok := b.pending[id]; !ok {
 			departed++
+			delete(c.pending, id)
 			if c.grid != nil {
 				c.grid.Remove(int(id))
 				gridOps++
 			}
 		}
 	}
-	var arrived []int32
+	arrived := c.arrived[:0]
 	for id, ti := range b.pending {
 		if !c.pending[id] {
 			arrived = append(arrived, int32(ti))
+			c.pending[id] = true
 			if c.grid != nil {
 				c.grid.Insert(int(id), b.Tasks[ti].Loc)
 				gridOps++
 			}
 		}
 	}
-	sort.Slice(arrived, func(i, j int) bool { return arrived[i] < arrived[j] })
+	slices.Sort(arrived)
+	c.arrived = arrived
 	c.stats.TasksDeparted += departed
 	c.stats.TasksArrived += len(arrived)
 	b.rec.AddCacheTasksDeparted(int64(departed))
@@ -238,8 +293,10 @@ func (c *EngineCache) incremental(b *Batch) *BatchIndex {
 		gridDensity = float64(c.grid.Len()) / c.boxArea
 	}
 
-	var scratch []int
-	for wi := range b.Workers {
+	// The per-worker loop. Shared cache state (c.workers, c.pending, the
+	// grid, the skill buckets) is read-only until every goroutine is done;
+	// each goroutine writes only its own disjoint idx slots and scratch.
+	work := func(wi int, sc *cacheScratch) {
 		bw := &b.Workers[wi]
 		cw := c.workers[bw.W.ID]
 		if cw != nil &&
@@ -248,19 +305,66 @@ func (c *EngineCache) incremental(b *Batch) *BatchIndex {
 			bw.ReadyAt >= cw.readyAt &&
 			cw.start == bw.W.Start && cw.wait == bw.W.Wait &&
 			cw.velocity == bw.W.Velocity && cw.maxDist == bw.W.MaxDist {
-			c.revalidate(b, wi, cw, newBySkill, idx)
-			c.stats.WorkersReused++
-			b.rec.CacheWorkerRevalidated()
+			c.revalidate(b, wi, cw, newBySkill, idx, &sc.bs)
+			sc.reused++
 		} else {
-			scratch = c.rebuildWorker(b, wi, bySkill, gridDensity, scratch, idx)
-			c.stats.WorkersRebuilt++
-			b.rec.AddCacheWorkersRebuilt(1)
+			c.rebuildWorker(b, wi, bySkill, gridDensity, idx, &sc.bs)
+			sc.rebuilt++
+		}
+	}
+
+	nw := len(b.Workers)
+	if procs > (nw+buildChunk-1)/buildChunk {
+		procs = (nw + buildChunk - 1) / buildChunk
+	}
+	if nw < minParallelWorkers || procs <= 1 {
+		var sc cacheScratch
+		for wi := 0; wi < nw; wi++ {
+			work(wi, &sc)
+		}
+		c.flush(b, &sc)
+	} else {
+		scs := make([]cacheScratch, procs)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(sc *cacheScratch) {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(buildChunk)) - buildChunk
+					if lo >= nw {
+						return
+					}
+					hi := lo + buildChunk
+					if hi > nw {
+						hi = nw
+					}
+					for wi := lo; wi < hi; wi++ {
+						work(wi, sc)
+					}
+				}
+			}(&scs[p])
+		}
+		wg.Wait()
+		for p := range scs {
+			c.flush(b, &scs[p])
 		}
 	}
 
 	idx.invertStrategies()
-	c.absorb(b, idx)
+	c.absorbWorkers(b, idx)
 	return idx
+}
+
+// flush folds one goroutine's outcome counters into the cache stats and the
+// batch recorder, and publishes its arena economy.
+func (c *EngineCache) flush(b *Batch, sc *cacheScratch) {
+	c.stats.WorkersReused += int(sc.reused)
+	c.stats.WorkersRebuilt += int(sc.rebuilt)
+	b.rec.AddCacheWorkersRevalidated(sc.reused)
+	b.rec.AddCacheWorkersRebuilt(sc.rebuilt)
+	sc.bs.flushArena(b)
 }
 
 // revalidate re-derives an unmoved worker's strategy set: cached entries are
@@ -268,10 +372,10 @@ func (c *EngineCache) incremental(b *Batch) *BatchIndex {
 // tasks drop out via the pending lookup, deadline-expired ones via
 // model.DeadlineFeasible), and newly arrived tasks are probed through the
 // full predicate — the only distance evaluations on this path.
-func (c *EngineCache) revalidate(b *Batch, wi int, cw *cachedWorker, newBySkill map[model.Skill][]int32, idx *BatchIndex) {
+func (c *EngineCache) revalidate(b *Batch, wi int, cw *cachedWorker, newBySkill map[model.Skill][]int32, idx *BatchIndex, sc *buildScratch) {
 	bw := &b.Workers[wi]
-	var set []int32
-	var costs []float64
+	sc.set = sc.set[:0]
+	sc.costs = sc.costs[:0]
 	reused := 0
 	for k, id := range cw.tasks {
 		ti, ok := b.pending[id]
@@ -280,8 +384,8 @@ func (c *EngineCache) revalidate(b *Batch, wi int, cw *cachedWorker, newBySkill 
 		}
 		reused++
 		if model.DeadlineFeasible(b.Tasks[ti], bw.ReadyAt, cw.costs[k]) {
-			set = append(set, int32(ti))
-			costs = append(costs, cw.costs[k])
+			sc.set = append(sc.set, int32(ti))
+			sc.costs = append(sc.costs, cw.costs[k])
 		}
 	}
 	examined := 0
@@ -290,39 +394,39 @@ func (c *EngineCache) revalidate(b *Batch, wi int, cw *cachedWorker, newBySkill 
 			examined++
 			t := b.Tasks[ti]
 			if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
-				set = append(set, ti)
-				costs = append(costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
+				sc.set = append(sc.set, ti)
+				sc.costs = append(sc.costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
 			}
 		}
 	}
 	// Cached entries follow the previous batch's index order and arrivals
 	// interleave arbitrarily; restore ascending task-index order.
-	sort.Sort(strategyByIndex{set, costs})
+	sc.sortStrategy()
 	// Every retained cached entry is a cross-batch memo hit (its travel time
 	// was served from the memo instead of recomputed); only arrival probes
 	// run the exact predicate.
 	b.rec.AddMemoHits(int64(reused))
 	b.rec.AddExamined(int64(examined))
-	b.rec.AddAdmitted(int64(len(set)))
-	idx.strategies[wi] = set
-	idx.costs[wi] = costs
+	b.rec.AddAdmitted(int64(len(sc.set)))
+	idx.strategies[wi] = sc.ints.carve(sc.set)
+	idx.costs[wi] = sc.floats.carve(sc.costs)
 }
 
 // rebuildWorker recomputes a moved (or new) worker's strategy set through
 // the same pruned scan as the from-scratch build, with the maintained grid
 // standing in for the per-batch one. Grid hits come back as task IDs and are
 // mapped to batch indexes through the pending map.
-func (c *EngineCache) rebuildWorker(b *Batch, wi int, bySkill map[model.Skill][]int32, gridDensity float64, scratch []int, idx *BatchIndex) []int {
+func (c *EngineCache) rebuildWorker(b *Batch, wi int, bySkill map[model.Skill][]int32, gridDensity float64, idx *BatchIndex, sc *buildScratch) {
 	bw := &b.Workers[wi]
-	var set []int32
-	var costs []float64
+	sc.set = sc.set[:0]
+	sc.costs = sc.costs[:0]
 	examined := 0
 	appendFeasible := func(ti int32) {
 		examined++
 		t := b.Tasks[ti]
 		if model.FeasibleFrom(bw.W, bw.Loc, bw.ReadyAt, bw.DistBudget, t, b.dist) {
-			set = append(set, ti)
-			costs = append(costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
+			sc.set = append(sc.set, ti)
+			sc.costs = append(sc.costs, bw.W.TravelTime(bw.Loc, t.Loc, b.dist))
 		}
 	}
 	skillPool := 0
@@ -339,8 +443,8 @@ func (c *EngineCache) rebuildWorker(b *Batch, wi int, bySkill map[model.Skill][]
 		useGrid = discPool < float64(skillPool)
 	}
 	if useGrid {
-		scratch = c.grid.Within(bw.Loc, c.boxScale*(bw.DistBudget+model.DistEps), scratch[:0])
-		for _, id := range scratch {
+		sc.grid = c.grid.Within(bw.Loc, c.boxScale*(bw.DistBudget+model.DistEps), sc.grid[:0])
+		for _, id := range sc.grid {
 			ti, ok := b.pending[model.TaskID(id)]
 			if !ok {
 				continue
@@ -356,41 +460,86 @@ func (c *EngineCache) rebuildWorker(b *Batch, wi int, bySkill map[model.Skill][]
 			}
 		}
 	}
-	sort.Sort(strategyByIndex{set, costs})
+	sc.sortStrategy()
 	b.rec.AddExamined(int64(examined))
-	b.rec.AddAdmitted(int64(len(set)))
-	idx.strategies[wi] = set
-	idx.costs[wi] = costs
-	return scratch
+	b.rec.AddAdmitted(int64(len(sc.set)))
+	idx.strategies[wi] = sc.ints.carve(sc.set)
+	idx.costs[wi] = sc.floats.carve(sc.costs)
 }
 
-// absorb snapshots the batch's worker states and strategy sets (re-keyed by
-// ID, since batch-local indexes do not survive) as the baseline for the next
-// incremental build. The cost slices are shared with the immutable index.
-func (c *EngineCache) absorb(b *Batch, idx *BatchIndex) {
-	c.workers = make(map[model.WorkerID]*cachedWorker, len(b.Workers))
+// absorbWorkers snapshots the batch's worker states and strategy sets as the
+// baseline for the next incremental build. The map, the cachedWorker
+// structs, and their task/cost buffers are all reused across batches:
+// present workers are updated in place, new ones come from the free list
+// (or a struct slab), and departed ones are swept into the free list. The
+// copies are cache-owned — nothing here aliases the index, so later reuse
+// cannot mutate an index a previous batch returned.
+func (c *EngineCache) absorbWorkers(b *Batch, idx *BatchIndex) {
+	if c.workers == nil {
+		c.workers = make(map[model.WorkerID]*cachedWorker, len(b.Workers))
+	}
+	c.gen++
+	pooled := 0
 	for wi := range b.Workers {
 		bw := &b.Workers[wi]
-		set := idx.strategies[wi]
-		tasks := make([]model.TaskID, len(set))
-		for k, ti := range set {
-			tasks[k] = b.Tasks[ti].ID
+		cw := c.workers[bw.W.ID]
+		if cw == nil {
+			if n := len(c.free); n > 0 {
+				cw = c.free[n-1]
+				c.free[n-1] = nil
+				c.free = c.free[:n-1]
+				pooled++
+			} else {
+				cw = &c.structs.carveLen(1)[0]
+			}
+			c.workers[bw.W.ID] = cw
 		}
-		c.workers[bw.W.ID] = &cachedWorker{
-			loc:        bw.Loc,
-			readyAt:    bw.ReadyAt,
-			distBudget: bw.DistBudget,
-			start:      bw.W.Start,
-			wait:       bw.W.Wait,
-			velocity:   bw.W.Velocity,
-			maxDist:    bw.W.MaxDist,
-			tasks:      tasks,
-			costs:      idx.costs[wi],
+		cw.loc = bw.Loc
+		cw.readyAt = bw.ReadyAt
+		cw.distBudget = bw.DistBudget
+		cw.start, cw.wait = bw.W.Start, bw.W.Wait
+		cw.velocity, cw.maxDist = bw.W.Velocity, bw.W.MaxDist
+		cw.gen = c.gen
+
+		set := idx.strategies[wi]
+		if cap(cw.tasks) >= len(set) {
+			cw.tasks = cw.tasks[:len(set)]
+		} else {
+			cw.tasks = c.ids.carveLen(len(set))
+		}
+		for k, ti := range set {
+			cw.tasks[k] = b.Tasks[ti].ID
+		}
+		costs := idx.costs[wi]
+		if cap(cw.costs) >= len(costs) {
+			cw.costs = cw.costs[:len(costs)]
+		} else {
+			cw.costs = c.floats.carveLen(len(costs))
+		}
+		copy(cw.costs, costs)
+	}
+	// Sweep departed workers (entries the loop above did not restamp) into
+	// the free list, buffers attached for reuse.
+	for id, cw := range c.workers {
+		if cw.gen != c.gen {
+			delete(c.workers, id)
+			c.free = append(c.free, cw)
 		}
 	}
-	c.pending = make(map[model.TaskID]bool, len(b.Tasks))
+	c.stats.WorkersPooled += pooled
+	b.rec.SetCachePool(pooled, len(c.free))
+	c.valid = true
+}
+
+// refreshPending rebuilds the pending-task set from scratch (adopt path;
+// the incremental path maintains it by diff). The map is reused.
+func (c *EngineCache) refreshPending(b *Batch) {
+	if c.pending == nil {
+		c.pending = make(map[model.TaskID]bool, len(b.Tasks))
+	} else {
+		clear(c.pending)
+	}
 	for _, t := range b.Tasks {
 		c.pending[t.ID] = true
 	}
-	c.valid = true
 }

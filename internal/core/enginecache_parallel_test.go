@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dasc/internal/geo"
+	"dasc/internal/model"
+)
+
+// evoSpec is one precomputed batch of a synthetic platform evolution: the
+// worker states and pending tasks to hand NewBatch.
+type evoSpec struct {
+	bws   []BatchWorker
+	tasks []*model.Task
+}
+
+// evolutionSpecs precomputes a deterministic multi-batch evolution of in —
+// the same regime evolvingBatches drives (clock advances, ~20% of workers
+// move and spend budget, tasks retire and arrive) — without touching a
+// cache, so one sequence can be replayed against several caches. All
+// randomness is drawn in fixed index order, never map order, so one seed
+// always yields byte-identical specs.
+func evolutionSpecs(in *model.Instance, seed int64, batches int) []evoSpec {
+	rng := rand.New(rand.NewSource(seed))
+	type wstate struct {
+		loc    geo.Point
+		budget float64
+	}
+	ws := make([]wstate, len(in.Workers))
+	for i := range in.Workers {
+		ws[i] = wstate{loc: in.Workers[i].Loc, budget: in.Workers[i].MaxDist}
+	}
+	pending := make([]bool, len(in.Tasks))
+	var unseen []int
+	for ti := range in.Tasks {
+		if ti%3 != 0 {
+			pending[ti] = true
+		} else {
+			unseen = append(unseen, ti)
+		}
+	}
+	specs := make([]evoSpec, 0, batches)
+	now := 0.0
+	for k := 0; k < batches; k++ {
+		now += 3
+		for i := range ws {
+			if rng.Float64() < 0.2 && len(in.Tasks) > 0 {
+				dst := in.Tasks[rng.Intn(len(in.Tasks))].Loc
+				ws[i].budget -= in.Distance()(ws[i].loc, dst)
+				ws[i].loc = dst
+			}
+		}
+		// Retired tasks never return: arrivals only come from unseen.
+		for ti := range pending {
+			if pending[ti] && rng.Float64() < 0.15 {
+				pending[ti] = false
+			}
+		}
+		for n := 0; n < 2 && len(unseen) > 0; n++ {
+			ti := unseen[len(unseen)-1]
+			unseen = unseen[:len(unseen)-1]
+			pending[ti] = true
+		}
+		bws := make([]BatchWorker, 0, len(in.Workers))
+		for i := range in.Workers {
+			bws = append(bws, BatchWorker{
+				W: &in.Workers[i], Loc: ws[i].loc, ReadyAt: now, DistBudget: ws[i].budget,
+			})
+		}
+		var tasks []*model.Task
+		for ti := range in.Tasks {
+			if pending[ti] {
+				tasks = append(tasks, &in.Tasks[ti])
+			}
+		}
+		specs = append(specs, evoSpec{bws: bws, tasks: tasks})
+	}
+	return specs
+}
+
+// TestEngineCacheIncrementalParallelDeterministic replays one evolution
+// against a serial cache (procs=1) and against concurrently built caches at
+// several pool sizes: every batch's index — and the cache's own outcome
+// counters — must be bit-identical regardless of scheduling. The worker pool
+// is sized past minParallelWorkers so the chunked fan-out actually engages,
+// and the evolution leaves both revalidated and rebuilt workers in every
+// run, so both branches of the parallel worker loop are covered.
+func TestEngineCacheIncrementalParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(510))
+	in := randomInstance(rng, 3*minParallelWorkers, 150, 6, true)
+	specs := evolutionSpecs(in, 511, 6)
+
+	run := func(procs int) ([]*BatchIndex, EngineCacheStats) {
+		cache := NewEngineCache()
+		idxs := make([]*BatchIndex, 0, len(specs))
+		for _, sp := range specs {
+			idxs = append(idxs, cache.attachN(NewBatch(in, sp.bws, sp.tasks, nil), procs))
+		}
+		return idxs, cache.Stats()
+	}
+
+	serial, sst := run(1)
+	if sst.WorkersReused == 0 || sst.WorkersRebuilt == 0 {
+		t.Fatalf("evolution must exercise both the revalidate and rebuild paths: %+v", sst)
+	}
+	for _, procs := range []int{2, 4, 8} {
+		par, pst := run(procs)
+		if pst != sst {
+			t.Fatalf("procs=%d: cache stats diverge from serial\npar:    %+v\nserial: %+v", procs, pst, sst)
+		}
+		for k := range serial {
+			if !reflect.DeepEqual(serial[k].strategies, par[k].strategies) {
+				t.Fatalf("procs=%d batch %d: strategy sets differ from serial build", procs, k)
+			}
+			if !reflect.DeepEqual(serial[k].costs, par[k].costs) {
+				t.Fatalf("procs=%d batch %d: travel-cost memos differ from serial build", procs, k)
+			}
+			if !reflect.DeepEqual(serial[k].candidates, par[k].candidates) {
+				t.Fatalf("procs=%d batch %d: candidate lists differ from serial build", procs, k)
+			}
+		}
+	}
+}
+
+// TestEngineCacheNeverMutatesReturnedIndex pins the cache's memory-ownership
+// contract: a returned BatchIndex is immutable. The cache recycles structs,
+// buffers and arenas batch over batch, so any aliasing between cache state
+// and a handed-out index would show up here as a mutated early snapshot once
+// later batches reuse the memory. Both the revalidate and rebuild paths must
+// have run for the check to mean anything.
+func TestEngineCacheNeverMutatesReturnedIndex(t *testing.T) {
+	cpInt := func(src [][]int32) [][]int32 {
+		out := make([][]int32, len(src))
+		for i, s := range src {
+			out[i] = append([]int32(nil), s...)
+		}
+		return out
+	}
+	cpFloat := func(src [][]float64) [][]float64 {
+		out := make([][]float64, len(src))
+		for i, s := range src {
+			out[i] = append([]float64(nil), s...)
+		}
+		return out
+	}
+	type snap struct {
+		strategies [][]int32
+		costs      [][]float64
+		candidates [][]int32
+	}
+
+	for _, procs := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(512))
+		in := randomInstance(rng, 3*minParallelWorkers, 120, 5, true)
+		specs := evolutionSpecs(in, 513, 8)
+		cache := NewEngineCache()
+		var idxs []*BatchIndex
+		var snaps []snap
+		for _, sp := range specs {
+			idx := cache.attachN(NewBatch(in, sp.bws, sp.tasks, nil), procs)
+			idxs = append(idxs, idx)
+			snaps = append(snaps, snap{cpInt(idx.strategies), cpFloat(idx.costs), cpInt(idx.candidates)})
+		}
+		st := cache.Stats()
+		if st.WorkersReused == 0 || st.WorkersRebuilt == 0 {
+			t.Fatalf("procs=%d: evolution must exercise both paths: %+v", procs, st)
+		}
+		for k := range idxs {
+			if !reflect.DeepEqual(snaps[k].strategies, idxs[k].strategies) {
+				t.Fatalf("procs=%d: batch %d strategy sets mutated by later cache activity", procs, k)
+			}
+			if !reflect.DeepEqual(snaps[k].costs, idxs[k].costs) {
+				t.Fatalf("procs=%d: batch %d travel-cost memos mutated by later cache activity", procs, k)
+			}
+			if !reflect.DeepEqual(snaps[k].candidates, idxs[k].candidates) {
+				t.Fatalf("procs=%d: batch %d candidate lists mutated by later cache activity", procs, k)
+			}
+		}
+	}
+}
+
+// TestEngineCacheRecyclesWorkerStructs walks the free list through a
+// departure/return cycle: departed workers land on the free list, returning
+// ones are served from it, and the stats/occupancy counters agree at every
+// step.
+func TestEngineCacheRecyclesWorkerStructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(514))
+	in := randomInstance(rng, 16, 24, 3, false)
+	cache := NewEngineCache()
+
+	var tasks []*model.Task
+	for i := range in.Tasks {
+		tasks = append(tasks, &in.Tasks[i])
+	}
+	mk := func(now float64, keep func(i int) bool) *Batch {
+		var bws []BatchWorker
+		for i := range in.Workers {
+			if keep(i) {
+				w := &in.Workers[i]
+				bws = append(bws, BatchWorker{W: w, Loc: w.Loc, ReadyAt: now, DistBudget: w.MaxDist})
+			}
+		}
+		return NewBatch(in, bws, tasks, nil)
+	}
+
+	cache.Attach(mk(0, func(int) bool { return true }))
+	if got := cache.PoolOccupancy(); got != 0 {
+		t.Fatalf("pool occupancy after first batch = %d, want 0", got)
+	}
+
+	// The odd workers depart; their structs must be pooled.
+	odds := len(in.Workers) / 2
+	b2 := mk(4, func(i int) bool { return i%2 == 0 })
+	cache.Attach(b2)
+	if err := b2.VerifyIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.PoolOccupancy(); got != odds {
+		t.Fatalf("pool occupancy after departures = %d, want %d", got, odds)
+	}
+	if got := cache.Stats().WorkersPooled; got != 0 {
+		t.Fatalf("WorkersPooled before any return = %d, want 0", got)
+	}
+
+	// Everyone returns; the odd workers must be rebuilt from recycled structs.
+	b3 := mk(8, func(int) bool { return true })
+	cache.Attach(b3)
+	if err := b3.VerifyIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().WorkersPooled; got != odds {
+		t.Fatalf("WorkersPooled after returns = %d, want %d", got, odds)
+	}
+	if got := cache.PoolOccupancy(); got != 0 {
+		t.Fatalf("pool occupancy after returns = %d, want 0", got)
+	}
+}

@@ -3,6 +3,8 @@ package geo
 import (
 	"math"
 	"reflect"
+	"sync"
+	"unsafe"
 )
 
 // DistanceFunc measures the travel distance between two locations. The paper
@@ -28,25 +30,94 @@ func Chebyshev(a, b Point) float64 {
 // earthRadiusKm is the mean Earth radius used by Haversine.
 const earthRadiusKm = 6371.0088
 
+// FuncID memoizes the code-pointer identity of DistanceFunc values.
+// Deriving the identity via reflect costs an interface conversion and a
+// reflection walk; callers that re-check the same stored metric on every
+// batch (core.EngineCache) instead pay one pointer compare: a func value
+// is a pointer to its funcval, so an unchanged funcval pointer implies an
+// unchanged code pointer. A changed funcval falls back to reflect, so the
+// result is always exactly reflect.ValueOf(f).Pointer(). Not safe for
+// concurrent use; embed one per single-threaded consumer.
+type FuncID struct {
+	fv  unsafe.Pointer
+	ptr uintptr
+}
+
+// Of returns the code-pointer identity of f (0 for nil), memoized.
+func (d *FuncID) Of(f DistanceFunc) uintptr {
+	if f == nil {
+		return 0
+	}
+	fv := *(*unsafe.Pointer)(unsafe.Pointer(&f))
+	if fv == d.fv {
+		return d.ptr
+	}
+	d.fv = fv
+	d.ptr = reflect.ValueOf(f).Pointer()
+	return d.ptr
+}
+
+// boundScales holds caller-registered Euclidean lower-bound factors beyond
+// the built-in metrics, keyed by code pointer.
+var (
+	boundMu     sync.RWMutex
+	boundScales map[uintptr]float64
+)
+
+// RegisterEuclideanBound declares that Euclidean(a, b) ≤ scale·f(a, b)
+// holds for every point pair, extending EuclideanBoundScale's recognition
+// to caller-provided metrics — e.g. a road network whose edge weights
+// dominate the straight-line length registers scale 1, and its users get
+// spatial-grid pruning instead of exhaustive filtering. Nil functions and
+// non-positive or non-finite scales are ignored.
+//
+// Identity is the function's code pointer, the same best-effort identity
+// EuclideanBoundScale uses: every closure or method value sharing that
+// code shares the registration. Register only bounds that hold for every
+// instance behind the code pointer (roadnet hands out a distinct
+// unregistered method for networks whose weights undercut the straight
+// line, keeping the shared registration sound).
+func RegisterEuclideanBound(f DistanceFunc, scale float64) {
+	if f == nil || math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+		return
+	}
+	p := reflect.ValueOf(f).Pointer()
+	boundMu.Lock()
+	if boundScales == nil {
+		boundScales = make(map[uintptr]float64)
+	}
+	boundScales[p] = scale
+	boundMu.Unlock()
+}
+
 // EuclideanBoundScale reports a factor c such that Euclidean(a, b) ≤ c·f(a, b)
 // for all point pairs, enabling spatial indexes (which answer Euclidean radius
 // queries) to prune candidates for the metric f: any pair within metric
 // distance r lies inside the Euclidean disc of radius c·r. The factor is
 // recognised for the package's own metrics — Euclidean and Manhattan dominate
 // the straight line (c = 1), Chebyshev underestimates it by at most √2 — and
-// ok is false for anything else (road networks, Haversine, user closures),
-// signalling the caller to skip spatial pruning and filter exhaustively.
+// for metrics registered via RegisterEuclideanBound (e.g. road networks
+// whose edge weights dominate the straight line). ok is false for anything
+// else (Haversine, unregistered user closures), signalling the caller to
+// skip spatial pruning and filter exhaustively.
 func EuclideanBoundScale(f DistanceFunc) (scale float64, ok bool) {
 	if f == nil {
 		return 1, true
 	}
-	switch reflect.ValueOf(f).Pointer() {
+	p := reflect.ValueOf(f).Pointer()
+	switch p {
 	case reflect.ValueOf(Euclidean).Pointer():
 		return 1, true
 	case reflect.ValueOf(Manhattan).Pointer():
 		return 1, true
 	case reflect.ValueOf(Chebyshev).Pointer():
 		return math.Sqrt2, true
+	}
+	boundMu.RLock()
+	s, ok := boundScales[p]
+	boundMu.RUnlock()
+	if ok {
+		return s, true
 	}
 	return 0, false
 }

@@ -1,0 +1,60 @@
+package geo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// doubled and halved are package-level metrics with dedicated code pointers,
+// so the registry tests cannot collide with each other (or with roadnet's
+// process-wide registration) through a shared closure site.
+func doubled(a, b Point) float64 { return 2 * Euclidean(a, b) }
+func halved(a, b Point) float64  { return 0.5 * Euclidean(a, b) }
+
+func TestFuncIDMatchesReflect(t *testing.T) {
+	var id FuncID
+	if got := id.Of(nil); got != 0 {
+		t.Fatalf("Of(nil) = %#x, want 0", got)
+	}
+	for _, f := range []DistanceFunc{Euclidean, Manhattan, Chebyshev, Haversine, doubled} {
+		want := reflect.ValueOf(f).Pointer()
+		if got := id.Of(f); got != want {
+			t.Fatalf("Of = %#x, want reflect pointer %#x", got, want)
+		}
+		// Second call hits the funcval memo; the answer must not change.
+		if got := id.Of(f); got != want {
+			t.Fatalf("memoized Of = %#x, want %#x", got, want)
+		}
+	}
+}
+
+func TestRegisterEuclideanBound(t *testing.T) {
+	if _, ok := EuclideanBoundScale(doubled); ok {
+		t.Fatal("unregistered metric recognised")
+	}
+	// Euclidean ≤ 0.5·doubled, so scale 0.5 is the (tight) valid bound.
+	RegisterEuclideanBound(doubled, 0.5)
+	if s, ok := EuclideanBoundScale(doubled); !ok || s != 0.5 {
+		t.Fatalf("registered metric: scale=%v ok=%v, want 0.5 true", s, ok)
+	}
+	// Invalid registrations are ignored, not recorded.
+	RegisterEuclideanBound(nil, 1)
+	RegisterEuclideanBound(halved, 0)
+	RegisterEuclideanBound(halved, -2)
+	RegisterEuclideanBound(halved, math.NaN())
+	RegisterEuclideanBound(halved, math.Inf(1))
+	if _, ok := EuclideanBoundScale(halved); ok {
+		t.Fatal("invalid registrations must not be recorded")
+	}
+	// Built-in recognition is unaffected by registry activity.
+	if s, ok := EuclideanBoundScale(Euclidean); !ok || s != 1 {
+		t.Fatalf("Euclidean: scale=%v ok=%v", s, ok)
+	}
+	if s, ok := EuclideanBoundScale(Chebyshev); !ok || s != math.Sqrt2 {
+		t.Fatalf("Chebyshev: scale=%v ok=%v", s, ok)
+	}
+	if _, ok := EuclideanBoundScale(Haversine); ok {
+		t.Fatal("Haversine must stay unrecognised")
+	}
+}

@@ -30,6 +30,7 @@ func BenchmarkGridWithin(b *testing.B) {
 		g.Insert(it.ID, it.Pt)
 	}
 	var buf []int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = g.Within(queries[i%len(queries)], 0.05, buf[:0])
@@ -40,6 +41,7 @@ func BenchmarkKDTreeWithin(b *testing.B) {
 	items, queries := benchUniform(10000)
 	t := NewKDTree(items)
 	var buf []int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = t.Within(queries[i%len(queries)], 0.05, buf[:0])
@@ -50,6 +52,7 @@ func BenchmarkRTreeWithin(b *testing.B) {
 	items, queries := benchUniform(10000)
 	t := NewRTree(items)
 	var buf []int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = t.Within(queries[i%len(queries)], 0.05, buf[:0])
@@ -62,6 +65,7 @@ func BenchmarkGridNearest(b *testing.B) {
 	for _, it := range items {
 		g.Insert(it.ID, it.Pt)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Nearest(queries[i%len(queries)])
@@ -71,6 +75,7 @@ func BenchmarkGridNearest(b *testing.B) {
 func BenchmarkKDTreeNearest(b *testing.B) {
 	items, queries := benchUniform(10000)
 	t := NewKDTree(items)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Nearest(queries[i%len(queries)])
@@ -80,6 +85,7 @@ func BenchmarkKDTreeNearest(b *testing.B) {
 func BenchmarkRTreeNearest(b *testing.B) {
 	items, queries := benchUniform(10000)
 	t := NewRTree(items)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Nearest(queries[i%len(queries)])
@@ -88,6 +94,7 @@ func BenchmarkRTreeNearest(b *testing.B) {
 
 func BenchmarkKDTreeBuild(b *testing.B) {
 	items, _ := benchUniform(10000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NewKDTree(items)
@@ -96,6 +103,7 @@ func BenchmarkKDTreeBuild(b *testing.B) {
 
 func BenchmarkRTreeBuild(b *testing.B) {
 	items, _ := benchUniform(10000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NewRTree(items)

@@ -19,6 +19,7 @@ func benchCost(n, m int, seed int64) [][]float64 {
 
 func BenchmarkHungarian32(b *testing.B) {
 	cost := benchCost(32, 48, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Hungarian(cost); err != nil {
@@ -29,6 +30,7 @@ func BenchmarkHungarian32(b *testing.B) {
 
 func BenchmarkAuction32(b *testing.B) {
 	cost := benchCost(32, 48, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Auction(cost, 0); err != nil {
@@ -39,6 +41,7 @@ func BenchmarkAuction32(b *testing.B) {
 
 func BenchmarkHungarian128(b *testing.B) {
 	cost := benchCost(128, 160, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Hungarian(cost); err != nil {
@@ -49,6 +52,7 @@ func BenchmarkHungarian128(b *testing.B) {
 
 func BenchmarkAuction128(b *testing.B) {
 	cost := benchCost(128, 160, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Auction(cost, 0); err != nil {
@@ -65,6 +69,7 @@ func BenchmarkKuhnSparse(b *testing.B) {
 			g.AddEdge(u, rng.Intn(200))
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.MaxMatchingKuhn()
@@ -79,6 +84,7 @@ func BenchmarkHKSparse(b *testing.B) {
 			g.AddEdge(u, rng.Intn(200))
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.MaxMatchingHK()

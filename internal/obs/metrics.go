@@ -22,6 +22,13 @@ const (
 	MCacheDepartedTotal     = "dasc_cache_tasks_departed_total"
 	MCacheGridOpsTotal      = "dasc_cache_grid_ops_total"
 
+	// Allocation economy: slab-arena bytes feeding the index builds and
+	// the cache's recycled-struct pool.
+	MArenaCarvedTotal   = "dasc_arena_carved_bytes_total"
+	MArenaAllocTotal    = "dasc_arena_alloc_bytes_total"
+	MCachePooledTotal   = "dasc_cache_pooled_workers_total"
+	MCachePoolOccupancy = "dasc_cache_pool_occupancy"
+
 	// Travel-time memo.
 	MMemoHitsTotal   = "dasc_memo_hits_total"
 	MMemoMissesTotal = "dasc_memo_misses_total"
@@ -68,6 +75,11 @@ func RecordBatch(r *Registry, t BatchTrace) {
 	r.Counter(MCacheArrivedTotal).Add(int64(t.TasksArrived))
 	r.Counter(MCacheDepartedTotal).Add(int64(t.TasksDeparted))
 	r.Counter(MCacheGridOpsTotal).Add(t.GridOps)
+
+	r.Counter(MArenaCarvedTotal).Add(t.ArenaCarvedBytes)
+	r.Counter(MArenaAllocTotal).Add(t.ArenaAllocBytes)
+	r.Counter(MCachePooledTotal).Add(int64(t.PooledWorkers))
+	r.Gauge(MCachePoolOccupancy).Set(float64(t.PoolOccupancy))
 
 	r.Counter(MMemoHitsTotal).Add(t.MemoHits)
 	r.Counter(MMemoMissesTotal).Add(t.MemoMisses)

@@ -42,6 +42,16 @@ type BatchTrace struct {
 	CandidatesExamined int64 `json:"candidates_examined"`
 	CandidatesAdmitted int64 `json:"candidates_admitted"`
 
+	// Allocation economy of the engine build: bytes carved out of slab
+	// arenas into the index vs. bytes of freshly allocated arena blocks
+	// (carved ≫ alloc means the arenas are amortising well), and the
+	// cache's struct recycling (workers served from the free list this
+	// batch, free-list size after absorb).
+	ArenaCarvedBytes int64 `json:"arena_carved_bytes"`
+	ArenaAllocBytes  int64 `json:"arena_alloc_bytes"`
+	PooledWorkers    int   `json:"pooled_workers"`
+	PoolOccupancy    int   `json:"pool_occupancy"`
+
 	// Allocation results.
 	Assigned int `json:"assigned"` // valid pairs
 	Deferred int `json:"deferred"` // pairs dropped by the dependency fixpoint
@@ -75,6 +85,8 @@ type BatchRec struct {
 	rebuilt     atomic.Int64
 	arrived     atomic.Int64
 	departed    atomic.Int64
+	arenaCarved atomic.Int64
+	arenaAlloc  atomic.Int64
 	fullRebuild atomic.Bool
 }
 
@@ -131,6 +143,37 @@ func (r *BatchRec) CacheWorkerRevalidated() {
 		return
 	}
 	r.revalidated.Add(1)
+}
+
+// AddCacheWorkersRevalidated counts unmoved workers revalidated by time
+// arithmetic — the batched form the parallel incremental build uses (one
+// add per goroutine instead of one per worker).
+func (r *BatchRec) AddCacheWorkersRevalidated(n int64) {
+	if r == nil {
+		return
+	}
+	r.revalidated.Add(n)
+}
+
+// AddArenaBytes records slab-arena economy for the batch's index build:
+// carved is bytes handed out to index slices, alloc is bytes of freshly
+// allocated blocks.
+func (r *BatchRec) AddArenaBytes(carved, alloc int64) {
+	if r == nil {
+		return
+	}
+	r.arenaCarved.Add(carved)
+	r.arenaAlloc.Add(alloc)
+}
+
+// SetCachePool records the cache's struct recycling for the batch: pooled
+// is how many cached-worker structs were served from the free list,
+// occupancy the free-list size after absorb.
+func (r *BatchRec) SetCachePool(pooled, occupancy int) {
+	if r == nil {
+		return
+	}
+	r.trace.PooledWorkers, r.trace.PoolOccupancy = pooled, occupancy
 }
 
 // AddCacheWorkersRebuilt counts workers rebuilt through the pruned scan.
@@ -208,6 +251,8 @@ func (r *BatchRec) Finish() BatchTrace {
 	t.WorkersRebuilt = int(r.rebuilt.Load())
 	t.TasksArrived = int(r.arrived.Load())
 	t.TasksDeparted = int(r.departed.Load())
+	t.ArenaCarvedBytes = r.arenaCarved.Load()
+	t.ArenaAllocBytes = r.arenaAlloc.Load()
 	t.FullRebuild = r.fullRebuild.Load()
 	return t
 }

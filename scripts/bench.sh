@@ -1,0 +1,62 @@
+#!/bin/sh
+# Benchmark runner seeding the repo's perf trajectory. Runs the allocation-
+# sensitive core/geo benchmarks under fixed -benchtime/-count settings and
+# writes the results as JSON (name, ns/op, B/op, allocs/op) to BENCH_4.json
+# (override with BENCH_OUT), so successive PRs can diff steady-state cost.
+#
+#   sh scripts/bench.sh           # full run, writes BENCH_4.json
+#   sh scripts/bench.sh -quick    # smoke mode: 1 iteration, for verify.sh
+#
+# Machine-dependent absolute numbers: compare runs from the same box only.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_4.json}
+benchtime=5x
+count=3
+if [ "${1:-}" = "-quick" ]; then
+	benchtime=1x
+	count=1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench (engine: internal/bench, benchtime=$benchtime count=$count)"
+go test ./internal/bench -run '^$' \
+	-bench 'BenchmarkIncrementalEngine|BenchmarkBatchCandidatesIndexed' \
+	-benchtime "$benchtime" -count "$count" -benchmem | tee "$tmp"
+
+echo "== go test -bench (spatial index: internal/geo)"
+go test ./internal/geo -run '^$' \
+	-bench 'BenchmarkGridWithin|BenchmarkGridNearest' \
+	-benchtime 2000x -count "$count" -benchmem | tee -a "$tmp"
+
+# One benchmark line looks like:
+#   BenchmarkFoo-8   3   12345 ns/op   678 B/op   9 allocs/op   [extra metrics]
+# Repeated -count runs are averaged per benchmark name.
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op")     ns[name]     += $(i-1)
+		if ($i == "B/op")      bytes[name]  += $(i-1)
+		if ($i == "allocs/op") allocs[name] += $(i-1)
+	}
+	runs[name]++
+	if (!(name in order)) { order[name] = ++n; names[n] = name }
+}
+END {
+	printf "[\n"
+	for (i = 1; i <= n; i++) {
+		name = names[i]
+		printf "  {\"name\": \"%s\", \"ns_per_op\": %.1f, \"b_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n", \
+			name, ns[name]/runs[name], bytes[name]/runs[name], allocs[name]/runs[name], \
+			(i < n) ? "," : ""
+	}
+	printf "]\n"
+}
+' "$tmp" >"$out"
+
+echo "bench: wrote $out"

@@ -27,4 +27,19 @@ go test ./...
 echo "== go test -race (core, obs, sim, server, bench)"
 go test -race ./internal/core/... ./internal/obs/... ./internal/sim/... ./internal/server/... ./internal/bench/...
 
+# The incremental engine's ownership/determinism guards, re-run under the
+# race detector at two scheduler widths: GOMAXPROCS=2 forces heavy chunk
+# interleaving on the goroutine pool, 8 gives it real parallelism. The
+# aliasing test would surface any cache-recycled buffer still referencing a
+# returned index; the determinism sweep any scheduling-dependent output.
+echo "== go test -race engine-cache guards (GOMAXPROCS=2, 8)"
+for gmp in 2 8; do
+	GOMAXPROCS=$gmp go test -race ./internal/core/ \
+		-run 'TestEngineCache(NeverMutatesReturnedIndex|IncrementalParallelDeterministic)' -count 1
+done
+
+echo "== bench smoke"
+BENCH_OUT=$(mktemp) sh scripts/bench.sh -quick >/dev/null
+echo "bench smoke: OK"
+
 echo "verify: OK"
