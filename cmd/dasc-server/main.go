@@ -9,21 +9,35 @@
 // -manual the clock only advances through explicit POST /v1/tick?t=<time>
 // calls (useful for tests and demos).
 //
+// Durability: -journal appends every event to a JSONL log (fsynced per
+// -fsync), -snapshot/-snapshot-every write atomic state snapshots that
+// rotate the journal, and startup recovery is snapshot-load plus journal
+// tail replay (a torn final line from a crash mid-append is truncated with
+// a warning). SIGINT/SIGTERM drain in-flight requests via http.Server
+// Shutdown and flush+close the journal on every exit path.
+//
 // API (see internal/server.Handler):
 //
 //	POST /v1/workers      {"x":..,"y":..,"start":..,"wait":..,"velocity":..,"max_dist":..,"skills":[..]}
-//	POST /v1/tasks        {"x":..,"y":..,"start":..,"wait":..,"requires":..,"deps":[..]}
+//	POST /v1/tasks        {"x":..,"y":..,"start":..,"wait":..,"requires":..,"deps":[..],"weight":..}
 //	POST /v1/tick?t=12.5  run one batch at logical time 12.5
+//	POST /v1/snapshot     write a state snapshot now
 //	GET  /v1/stats | /v1/assignments | /v1/instance | /v1/svg
+//	GET  /v1/healthz | /v1/readyz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dasc/internal/core"
@@ -31,6 +45,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		alg         = flag.String("alg", core.NameGreedy, "allocator name")
@@ -40,6 +61,15 @@ func main() {
 		service     = flag.Float64("service", 0, "service duration per task")
 		manual      = flag.Bool("manual", false, "no automatic ticker; advance time via POST /v1/tick")
 		journal     = flag.String("journal", "", "append-only JSONL event log; replayed on startup to restore state")
+		fsync       = flag.String("fsync", "interval", "journal durability: always, interval or never")
+		fsyncEvery  = flag.Duration("fsync-interval", server.DefaultFsyncInterval, "fsync cadence for -fsync=interval")
+		snapshot    = flag.String("snapshot", "", "state snapshot path (default <journal>.snap when -journal is set)")
+		snapEvery   = flag.Int("snapshot-every", 0, "snapshot + rotate the journal every N ticks (0 = via POST /v1/snapshot only)")
+		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes (413 beyond)")
+		readTO      = flag.Duration("read-timeout", 10*time.Second, "http.Server read timeout")
+		writeTO     = flag.Duration("write-timeout", 30*time.Second, "http.Server write timeout")
+		idleTO      = flag.Duration("idle-timeout", 2*time.Minute, "http.Server idle timeout")
+		drainTO     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain limit on SIGINT/SIGTERM")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
 		traceDepth  = flag.Int("trace-depth", 0, "per-batch traces kept for GET /v1/trace (0 = default)")
 	)
@@ -47,50 +77,114 @@ func main() {
 
 	alloc, err := core.NewByName(*alg, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dasc-server:", err)
-		os.Exit(1)
+		return err
 	}
-	cfg := server.Config{Allocator: alloc, ServiceTime: *service, TraceDepth: *traceDepth}
+	mode, err := server.ParseFsyncMode(*fsync)
+	if err != nil {
+		return err
+	}
+	snapPath := *snapshot
+	if snapPath == "" && *journal != "" {
+		snapPath = *journal + ".snap"
+	}
+	cfg := server.Config{
+		Allocator:     alloc,
+		ServiceTime:   *service,
+		TraceDepth:    *traceDepth,
+		SnapshotPath:  snapPath,
+		SnapshotEvery: *snapEvery,
+		MaxBodyBytes:  *maxBody,
+	}
 	if *journal != "" {
-		j, err := server.OpenJournal(*journal)
+		j, err := server.OpenJournalMode(*journal, mode, *fsyncEvery)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dasc-server:", err)
-			os.Exit(1)
+			return err
 		}
-		defer j.Close()
+		// Every exit path below returns through this defer, so the journal
+		// is always flushed and closed (the old os.Exit paths skipped it).
+		defer func() {
+			if cerr := j.Close(); cerr != nil {
+				log.Printf("journal close: %v", cerr)
+			}
+		}()
 		cfg.Journal = j
 	}
 	p, err := server.NewPlatform(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dasc-server:", err)
-		os.Exit(1)
-	}
-	if *journal != "" {
-		if f, err := os.Open(*journal); err == nil {
-			if err := server.Replay(f, p); err != nil {
-				fmt.Fprintln(os.Stderr, "dasc-server: replay:", err)
-				os.Exit(1)
-			}
-			f.Close()
-			st := p.Snapshot()
-			log.Printf("replayed journal %s: %d workers, %d tasks, %d assigned",
-				*journal, st.Workers, st.Tasks, st.AssignedTasks)
-		}
+		return err
 	}
 
-	if !*manual {
-		go runTicker(p, *interval, *timescale)
+	// Serve before recovering: /v1/healthz answers immediately, /v1/readyz
+	// and the mutating endpoints gate on recovery finishing.
+	p.SetReady(false)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
 	}
 	handler := server.Handler(p)
 	if *enablePprof {
 		handler = withPprof(handler)
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	log.Printf("dasc-server: %s allocator, batch interval %g, listening on %s", alloc.Name(), *interval, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		fmt.Fprintln(os.Stderr, "dasc-server:", err)
-		os.Exit(1)
+	srv := &http.Server{
+		Handler:      handler,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		IdleTimeout:  *idleTO,
 	}
+	log.Printf("dasc-server: %s allocator, batch interval %g, fsync=%s, listening on %s",
+		alloc.Name(), *interval, mode, ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if *journal != "" || snapPath != "" {
+		rep, err := server.Recover(p, snapPath, *journal)
+		if err != nil {
+			shutdown(srv, *drainTO)
+			return fmt.Errorf("recover: %w", err)
+		}
+		if rep.Replay.TornTail {
+			log.Printf("recovery: truncated torn journal tail (%d bytes) — crash mid-append", rep.Replay.TornTailBytes)
+		}
+		st := p.Snapshot()
+		log.Printf("recovered in %s: snapshot=%v (%d bytes), %d journal entries (%d ticks) replayed; %d workers, %d tasks, %d assigned",
+			rep.Duration.Round(time.Millisecond), rep.SnapshotLoaded, rep.SnapshotBytes,
+			rep.Replay.Entries, rep.Replay.Ticks, st.Workers, st.Tasks, st.AssignedTasks)
+	}
+	p.SetReady(true)
+
+	tickerStop := make(chan struct{})
+	defer close(tickerStop)
+	if !*manual {
+		go runTicker(p, *interval, *timescale, tickerStop)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining (limit %s)", *drainTO)
+		if err := shutdown(srv, *drainTO); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		<-serveErr // Serve has returned ErrServerClosed
+		log.Printf("dasc-server: stopped cleanly")
+		return nil
+	}
+}
+
+// shutdown drains in-flight requests, bounded by the configured limit.
+func shutdown(srv *http.Server, limit time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), limit)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return srv.Close()
+	}
+	return err
 }
 
 // withPprof mounts the net/http/pprof handlers next to the API without
@@ -108,8 +202,8 @@ func withPprof(api http.Handler) http.Handler {
 }
 
 // runTicker advances logical time at the configured rate, running one batch
-// per interval, until the process exits.
-func runTicker(p *server.Platform, interval, timescale float64) {
+// per interval, until stop closes.
+func runTicker(p *server.Platform, interval, timescale float64, stop <-chan struct{}) {
 	if timescale <= 0 {
 		timescale = 1
 	}
@@ -118,8 +212,15 @@ func runTicker(p *server.Platform, interval, timescale float64) {
 		wall = time.Second
 	}
 	start := time.Now()
-	for range time.Tick(wall) {
-		tickOnce(p, time.Since(start).Seconds()*timescale)
+	t := time.NewTicker(wall)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			tickOnce(p, time.Since(start).Seconds()*timescale)
+		}
 	}
 }
 

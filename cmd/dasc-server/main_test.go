@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"dasc/internal/core"
 	"dasc/internal/model"
@@ -34,6 +35,48 @@ func TestTickOnceAssignsAndLogsWithoutPanicking(t *testing.T) {
 	tickOnce(p, -1)
 	if st := p.Snapshot(); st.Batches != 1 {
 		t.Errorf("backward tick counted: %+v", st)
+	}
+}
+
+func TestRunTickerStopsOnClose(t *testing.T) {
+	p, err := server.NewPlatform(server.Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		// Tiny interval so the loop is demonstrably live before stopping.
+		runTicker(p, 0.001, 1000, stop)
+		close(done)
+	}()
+	deadline := time.After(5 * time.Second)
+	for p.Snapshot().Batches == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("ticker never ticked")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("ticker did not stop")
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})}
+	ts := httptest.NewUnstartedServer(nil)
+	ts.Config = srv
+	ts.Start()
+	if err := shutdown(srv, time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is closed: new connections fail.
+	if _, err := http.Get(ts.URL + "/"); err == nil {
+		t.Error("server still accepting after shutdown")
 	}
 }
 

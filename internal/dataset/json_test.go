@@ -143,3 +143,28 @@ func TestSaveToUnwritablePath(t *testing.T) {
 		t.Error("unwritable path accepted")
 	}
 }
+
+func TestWriteCompactRoundTripsAndIsSmaller(t *testing.T) {
+	in := model.Example1()
+	var compact, indented bytes.Buffer
+	if err := WriteCompact(&compact, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&indented, in); err != nil {
+		t.Fatal(err)
+	}
+	if compact.Len() >= indented.Len() {
+		t.Errorf("compact form %d bytes >= indented %d", compact.Len(), indented.Len())
+	}
+	// Single line (plus the encoder's trailing newline): embeddable in JSONL.
+	if n := strings.Count(strings.TrimRight(compact.String(), "\n"), "\n"); n != 0 {
+		t.Errorf("compact form spans %d extra lines", n+1)
+	}
+	out, err := Read(&compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Workers) != len(in.Workers) || len(out.Tasks) != len(in.Tasks) {
+		t.Error("compact round trip lost population")
+	}
+}

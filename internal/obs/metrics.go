@@ -33,6 +33,25 @@ const (
 	MMemoHitsTotal   = "dasc_memo_hits_total"
 	MMemoMissesTotal = "dasc_memo_misses_total"
 
+	// Journal durability (server): every append is flushed; fsyncs follow
+	// the configured server.FsyncMode.
+	MJournalAppendsTotal = "dasc_journal_appends_total"
+	MJournalBytesTotal   = "dasc_journal_bytes_total"
+	MJournalFsyncsTotal  = "dasc_journal_fsyncs_total"
+
+	// Snapshots (server): atomic state snapshots that rotate the journal.
+	MSnapshotsTotal        = "dasc_snapshots_total"
+	MSnapshotFailuresTotal = "dasc_snapshot_failures_total"
+	MSnapshotBytesGauge    = "dasc_snapshot_bytes"
+	TSnapshotSeconds       = "dasc_snapshot_seconds"
+
+	// Crash recovery (server): what startup replay applied and whether a
+	// torn final journal line was truncated.
+	MRecoveryEntriesTotal   = "dasc_recovery_entries_replayed_total"
+	MRecoveryTicksTotal     = "dasc_recovery_ticks_replayed_total"
+	MRecoveryTornLinesTotal = "dasc_recovery_torn_lines_total"
+	MRecoveryTornBytesTotal = "dasc_recovery_torn_bytes_truncated_total"
+
 	// Pruning effectiveness.
 	MCandExaminedTotal = "dasc_candidates_examined_total"
 	MCandAdmittedTotal = "dasc_candidates_admitted_total"

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -12,6 +13,12 @@ import (
 	"dasc/internal/model"
 	"dasc/internal/viz"
 )
+
+// DefaultMaxBodyBytes caps HTTP request bodies when Config.MaxBodyBytes is
+// zero. 1 MiB fits any plausible worker or task registration (a task with
+// tens of thousands of dependencies) while keeping a misbehaving client from
+// buffering arbitrary amounts of memory server-side.
+const DefaultMaxBodyBytes = 1 << 20
 
 // workerDTO is the JSON body of POST /v1/workers.
 type workerDTO struct {
@@ -24,7 +31,9 @@ type workerDTO struct {
 	Skills   []model.Skill `json:"skills"`
 }
 
-// taskDTO is the JSON body of POST /v1/tasks.
+// taskDTO is the JSON body of POST /v1/tasks. Weight must round-trip here:
+// model.Task, the journal and GET /v1/instance all carry it, and dropping it
+// at registration would silently zero every weighted-objective allocation.
 type taskDTO struct {
 	X        float64        `json:"x"`
 	Y        float64        `json:"y"`
@@ -32,6 +41,7 @@ type taskDTO struct {
 	Wait     float64        `json:"wait"`
 	Requires model.Skill    `json:"requires"`
 	Deps     []model.TaskID `json:"deps"`
+	Weight   float64        `json:"weight"`
 }
 
 // idResponse acknowledges a registration.
@@ -44,18 +54,27 @@ type idResponse struct {
 //	POST /v1/workers      register a worker            → {"id": n}
 //	POST /v1/tasks        register a task              → {"id": n}
 //	POST /v1/tick?t=12.5  run a batch at logical time  → BatchOutcome
+//	POST /v1/snapshot     write a state snapshot, rotate the journal
 //	GET  /v1/stats        counters
 //	GET  /v1/metrics      metric registry, Prometheus text (?format=json for JSON)
 //	GET  /v1/trace        recent per-batch traces (?last=N for the newest N)
 //	GET  /v1/assignments  all valid pairs so far
 //	GET  /v1/instance     dataset JSON (archivable)
 //	GET  /v1/svg          spatial snapshot as SVG
+//	GET  /v1/healthz      process liveness (always 200)
+//	GET  /v1/readyz       503 until recovery completes, then 200
+//
+// Mutating endpoints (the POSTs) return 503 while the platform is not ready
+// (recovering from its journal); reads are always served.
 func Handler(p *Platform) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		if !ready(p, w) {
+			return
+		}
 		var dto workerDTO
-		if err := decode(r, &dto); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := decode(p, w, r, &dto); err != nil {
+			httpError(w, decodeStatus(err), err)
 			return
 		}
 		id, err := p.AddWorker(model.Worker{
@@ -73,9 +92,12 @@ func Handler(p *Platform) http.Handler {
 		writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
 	})
 	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		if !ready(p, w) {
+			return
+		}
 		var dto taskDTO
-		if err := decode(r, &dto); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := decode(p, w, r, &dto); err != nil {
+			httpError(w, decodeStatus(err), err)
 			return
 		}
 		id, err := p.AddTask(model.Task{
@@ -84,6 +106,7 @@ func Handler(p *Platform) http.Handler {
 			Wait:     dto.Wait,
 			Requires: dto.Requires,
 			Deps:     dto.Deps,
+			Weight:   dto.Weight,
 		})
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err)
@@ -92,6 +115,9 @@ func Handler(p *Platform) http.Handler {
 		writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
 	})
 	mux.HandleFunc("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
+		if !ready(p, w) {
+			return
+		}
 		// strconv.ParseFloat (unlike a %g scan) rejects trailing garbage;
 		// NaN and ±Inf parse but would poison the platform's logical clock,
 		// so they are rejected explicitly.
@@ -111,6 +137,31 @@ func Handler(p *Platform) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !ready(p, w) {
+			return
+		}
+		if p.snapPath == "" {
+			httpError(w, http.StatusConflict, errors.New("no snapshot path configured (start the server with -snapshot)"))
+			return
+		}
+		info, err := p.SaveSnapshot(p.snapPath)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		if !p.Ready() {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]bool{"ready": p.Ready()})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Snapshot())
@@ -170,10 +221,33 @@ func Handler(p *Platform) http.Handler {
 	return mux
 }
 
-func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// ready gates mutating endpoints on platform readiness, answering 503 (with
+// a Retry-After hint) while recovery is still replaying the journal.
+func ready(p *Platform, w http.ResponseWriter) bool {
+	if p.Ready() {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, errors.New("platform is recovering; retry shortly"))
+	return false
+}
+
+// decode reads a JSON request body capped at the platform's body limit.
+func decode(p *Platform, w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, p.maxBody)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// decodeStatus maps a decode failure to its HTTP status: 413 when the body
+// blew the size cap, 400 for malformed JSON.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,25 +2,82 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"dasc/internal/model"
+	"dasc/internal/obs"
 )
+
+// FsyncMode is the journal's durability policy: how often appended events
+// are forced to stable storage (fsync) rather than just flushed to the OS
+// page cache.
+type FsyncMode int
+
+const (
+	// FsyncNever flushes to the OS but never fsyncs; a machine crash can
+	// lose every event the kernel had not yet written back. Process crashes
+	// lose nothing (the flush per append still reaches the kernel).
+	FsyncNever FsyncMode = iota
+	// FsyncInterval fsyncs at most once per configured interval, amortising
+	// the sync cost over many appends; a machine crash loses at most one
+	// interval of events.
+	FsyncInterval
+	// FsyncAlways fsyncs after every append; nothing acknowledged is ever
+	// lost, at one disk sync per event.
+	FsyncAlways
+)
+
+// ParseFsyncMode parses "always", "interval" or "never".
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return FsyncNever, fmt.Errorf("server: unknown fsync mode %q (want always, interval or never)", s)
+}
+
+// String returns the flag spelling of the mode.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "never"
+	}
+}
+
+// DefaultFsyncInterval is the interval-mode sync cadence when none is given.
+const DefaultFsyncInterval = time.Second
 
 // Journal is an append-only JSONL event log for the platform: every worker
 // registration, task registration and batch tick is recorded as one line, so
 // a crashed or restarted server can rebuild its exact state with Replay.
 // Entries are written through a buffered writer and flushed per event; the
-// file format is stable and human-greppable.
+// configured FsyncMode decides when flushes are additionally forced to disk.
+// The file format is stable and human-greppable.
 type Journal struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer
-	err error
+	mu       sync.Mutex
+	w        *bufio.Writer
+	c        io.Closer
+	f        *os.File // nil when not file-backed (fsync and Rewind unavailable)
+	mode     FsyncMode
+	interval time.Duration
+	lastSync time.Time
+	reg      *obs.Registry // nil-safe metric sink (dasc_journal_*)
+	err      error
 }
 
 // journalEntry is one logged event. Exactly one of the payload fields is set.
@@ -53,17 +110,46 @@ type journalTask struct {
 }
 
 // NewJournal writes events to w; close (may be nil) is closed by Close.
+// Writer-backed journals have no durable file, so the fsync policy is
+// FsyncNever and Rewind is unavailable.
 func NewJournal(w io.Writer, close io.Closer) *Journal {
 	return &Journal{w: bufio.NewWriter(w), c: close}
 }
 
-// OpenJournal appends to (creating if needed) the JSONL file at path.
+// OpenJournal appends to (creating if needed) the JSONL file at path with
+// the FsyncNever policy. Use OpenJournalMode to choose a durability policy.
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalMode(path, FsyncNever, 0)
+}
+
+// OpenJournalMode appends to (creating if needed) the JSONL file at path
+// under the given durability policy. interval only matters for
+// FsyncInterval; zero means DefaultFsyncInterval.
+func OpenJournalMode(path string, mode FsyncMode, interval time.Duration) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return NewJournal(f, f), nil
+	if interval <= 0 {
+		interval = DefaultFsyncInterval
+	}
+	j := NewJournal(f, f)
+	j.f = f
+	j.mode = mode
+	j.interval = interval
+	return j, nil
+}
+
+// SetMetrics attaches a registry for the dasc_journal_* counters. Nil-safe
+// on both sides; the platform wires its own registry here so journal
+// durability shows up on GET /v1/metrics.
+func (j *Journal) SetMetrics(reg *obs.Registry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.reg = reg
+	j.mu.Unlock()
 }
 
 func (j *Journal) append(e journalEntry) error {
@@ -77,7 +163,8 @@ func (j *Journal) append(e journalEntry) error {
 		j.err = err
 		return err
 	}
-	if _, err := j.w.Write(append(data, '\n')); err != nil {
+	n, err := j.w.Write(append(data, '\n'))
+	if err != nil {
 		j.err = err
 		return err
 	}
@@ -85,7 +172,89 @@ func (j *Journal) append(e journalEntry) error {
 		j.err = err
 		return err
 	}
+	j.reg.Counter(obs.MJournalAppendsTotal).Inc()
+	j.reg.Counter(obs.MJournalBytesTotal).Add(int64(n))
+	if err := j.maybeSyncLocked(); err != nil {
+		j.err = err
+		return err
+	}
 	return nil
+}
+
+// maybeSyncLocked applies the fsync policy after a flushed append.
+func (j *Journal) maybeSyncLocked() error {
+	if j.f == nil {
+		return nil
+	}
+	switch j.mode {
+	case FsyncAlways:
+		return j.syncLocked()
+	case FsyncInterval:
+		if time.Since(j.lastSync) >= j.interval {
+			return j.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.lastSync = time.Now()
+	j.reg.Counter(obs.MJournalFsyncsTotal).Inc()
+	return nil
+}
+
+// Sync flushes buffered events and, for file-backed journals, forces them to
+// stable storage regardless of the fsync policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.syncLocked(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// Rewind truncates a file-backed journal to zero length after a snapshot has
+// captured everything it contained, so recovery is snapshot-load plus a
+// short tail replay instead of a full-history re-simulation. The journal
+// stays open and appendable; only file-backed journals can rewind.
+func (j *Journal) Rewind() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		return errors.New("server: journal is not file-backed; cannot rewind")
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		j.err = err
+		return err
+	}
+	// O_APPEND writes ignore the offset, but keep it coherent for clarity.
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		j.err = err
+		return err
+	}
+	return j.syncLocked()
 }
 
 // Worker logs a worker registration.
@@ -110,12 +279,17 @@ func (j *Journal) TickAt(now float64) error {
 	return j.append(journalEntry{Kind: "tick", Tick: &now})
 }
 
-// Close flushes and closes the underlying file.
+// Close flushes, syncs (per Sync) and closes the underlying file.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if ferr := j.w.Flush(); ferr != nil && j.err == nil {
 		j.err = ferr
+	}
+	if j.f != nil && j.err == nil {
+		if serr := j.syncLocked(); serr != nil {
+			j.err = serr
+		}
 	}
 	if j.c != nil {
 		if cerr := j.c.Close(); cerr != nil && j.err == nil {
@@ -125,11 +299,43 @@ func (j *Journal) Close() error {
 	return j.err
 }
 
+// ReplayReport describes what a journal replay applied.
+type ReplayReport struct {
+	// Entries is the number of journal entries applied (registrations and
+	// ticks); Ticks is how many of those were batch ticks re-run.
+	Entries int
+	Ticks   int
+	// TornTail reports that the final line was an unterminated partial
+	// write (a crash mid-append); TornTailBytes is its length. The torn
+	// bytes were NOT applied — the caller should truncate them from the
+	// file before appending new events (Recover does).
+	TornTail      bool
+	TornTailBytes int
+}
+
 // Replay feeds a journal stream back into a fresh platform, reproducing its
+// state. See ReplayJournal for the report-returning variant and the
+// torn-tail contract.
+func Replay(r io.Reader, p *Platform) error {
+	_, err := ReplayJournal(r, p)
+	return err
+}
+
+// ReplayJournal feeds a journal stream back into a platform, reproducing its
 // state: registrations re-register and ticks re-run. The platform must use
 // the same allocator configuration as the original for identical outcomes
 // (allocators are deterministic for a fixed seed).
-func Replay(r io.Reader, p *Platform) error {
+//
+// A torn tail — a final line with no trailing newline that is not valid
+// JSON, the signature of a crash mid-append — is treated as a clean EOF and
+// reported, not returned as an error: the journal's complete prefix fully
+// determines a consistent state. Any malformed *interior* line (terminated
+// by a newline, or followed by more data) still fails loudly with its line
+// number. Lines are read through bufio.Reader, so a single huge entry (e.g.
+// a task with an enormous dependency list journaled before body limits) has
+// no fixed size cap.
+func ReplayJournal(r io.Reader, p *Platform) (ReplayReport, error) {
+	var rep ReplayReport
 	p.mu.Lock()
 	p.replaying = true
 	p.mu.Unlock()
@@ -138,56 +344,105 @@ func Replay(r io.Reader, p *Platform) error {
 		p.replaying = false
 		p.mu.Unlock()
 	}()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	br := bufio.NewReaderSize(r, 64*1024)
 	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
+	for {
+		data, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return rep, rerr
 		}
-		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return fmt.Errorf("server: journal line %d: %w", line, err)
+		atEOF := rerr == io.EOF
+		complete := len(data) > 0 && data[len(data)-1] == '\n'
+		torn := atEOF && !complete && len(data) > 0
+		trimmed := bytes.TrimSpace(data)
+		if len(trimmed) > 0 {
+			line++
+			var e journalEntry
+			if err := json.Unmarshal(trimmed, &e); err != nil {
+				if torn {
+					// Torn tail: a crash cut the final append short. The
+					// complete prefix fully determines a consistent state;
+					// drop the fragment and report it for truncation.
+					rep.TornTail = true
+					rep.TornTailBytes = len(data)
+					recordRecovery(p, rep)
+					return rep, nil
+				}
+				return rep, fmt.Errorf("server: journal line %d: %w", line, err)
+			}
+			// A torn write can at worst leave a byte-complete entry missing
+			// only its newline, never valid JSON with different semantics —
+			// so apply errors are real corruption even on the last line.
+			if err := applyEntry(p, &e, line); err != nil {
+				return rep, err
+			}
+			rep.Entries++
+			if e.Kind == "tick" {
+				rep.Ticks++
+			}
+		} else if torn {
+			// Whitespace-only unterminated tail: also torn, also dropped.
+			rep.TornTail = true
+			rep.TornTailBytes = len(data)
 		}
-		switch e.Kind {
-		case "worker":
-			if e.Worker == nil {
-				return fmt.Errorf("server: journal line %d: worker entry without payload", line)
-			}
-			w := e.Worker
-			_, err := p.AddWorker(model.Worker{
-				Loc: pt(w.X, w.Y), Start: w.Start, Wait: w.Wait,
-				Velocity: w.Velocity, MaxDist: w.MaxDist,
-				Skills: model.NewSkillSet(w.Skills...),
-			})
-			if err != nil {
-				return fmt.Errorf("server: journal line %d: %w", line, err)
-			}
-		case "task":
-			if e.Task == nil {
-				return fmt.Errorf("server: journal line %d: task entry without payload", line)
-			}
-			t := e.Task
-			_, err := p.AddTask(model.Task{
-				Loc: pt(t.X, t.Y), Start: t.Start, Wait: t.Wait,
-				Requires: t.Requires, Deps: t.Deps, Weight: t.Weight,
-			})
-			if err != nil {
-				return fmt.Errorf("server: journal line %d: %w", line, err)
-			}
-		case "tick":
-			if e.Tick == nil {
-				return fmt.Errorf("server: journal line %d: tick entry without time", line)
-			}
-			if _, err := p.Tick(*e.Tick); err != nil {
-				return fmt.Errorf("server: journal line %d: %w", line, err)
-			}
-		default:
-			return fmt.Errorf("server: journal line %d: unknown kind %q", line, e.Kind)
+		if atEOF {
+			recordRecovery(p, rep)
+			return rep, nil
 		}
 	}
-	return sc.Err()
+}
+
+// applyEntry applies one decoded journal entry; errors carry the line
+// number.
+func applyEntry(p *Platform, e *journalEntry, line int) error {
+	switch e.Kind {
+	case "worker":
+		if e.Worker == nil {
+			return fmt.Errorf("server: journal line %d: worker entry without payload", line)
+		}
+		w := e.Worker
+		_, err := p.AddWorker(model.Worker{
+			Loc: pt(w.X, w.Y), Start: w.Start, Wait: w.Wait,
+			Velocity: w.Velocity, MaxDist: w.MaxDist,
+			Skills: model.NewSkillSet(w.Skills...),
+		})
+		if err != nil {
+			return fmt.Errorf("server: journal line %d: %w", line, err)
+		}
+	case "task":
+		if e.Task == nil {
+			return fmt.Errorf("server: journal line %d: task entry without payload", line)
+		}
+		t := e.Task
+		_, err := p.AddTask(model.Task{
+			Loc: pt(t.X, t.Y), Start: t.Start, Wait: t.Wait,
+			Requires: t.Requires, Deps: t.Deps, Weight: t.Weight,
+		})
+		if err != nil {
+			return fmt.Errorf("server: journal line %d: %w", line, err)
+		}
+	case "tick":
+		if e.Tick == nil {
+			return fmt.Errorf("server: journal line %d: tick entry without time", line)
+		}
+		if _, err := p.Tick(*e.Tick); err != nil {
+			return fmt.Errorf("server: journal line %d: %w", line, err)
+		}
+	default:
+		return fmt.Errorf("server: journal line %d: unknown kind %q", line, e.Kind)
+	}
+	return nil
+}
+
+// recordRecovery folds a replay's outcome into the platform's registry.
+func recordRecovery(p *Platform, rep ReplayReport) {
+	reg := p.Metrics()
+	reg.Counter(obs.MRecoveryEntriesTotal).Add(int64(rep.Entries))
+	reg.Counter(obs.MRecoveryTicksTotal).Add(int64(rep.Ticks))
+	if rep.TornTail {
+		reg.Counter(obs.MRecoveryTornLinesTotal).Inc()
+		reg.Counter(obs.MRecoveryTornBytesTotal).Add(int64(rep.TornTailBytes))
+	}
 }
 
 // openForRead opens a journal file for replay.

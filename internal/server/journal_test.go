@@ -3,12 +3,15 @@ package server
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"dasc/internal/core"
 	"dasc/internal/model"
+	"dasc/internal/obs"
 )
 
 // driveExample runs Example 1 through a journaled platform: register
@@ -158,3 +161,201 @@ type failingWriter struct{}
 var errDiskFull = errors.New("disk full")
 
 func (failingWriter) Write([]byte) (int, error) { return 0, errDiskFull }
+
+// journalBytes drives Example 1 through a journaled platform and returns the
+// journal contents plus the original platform.
+func journalBytes(t *testing.T) ([]byte, *Platform) {
+	t.Helper()
+	var log bytes.Buffer
+	j := NewJournal(&log, nil)
+	p, err := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveExample(t, p)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return log.Bytes(), p
+}
+
+func TestReplayTornTailToleratedAsCleanEOF(t *testing.T) {
+	full, _ := journalBytes(t)
+	// Cut mid-way through the final line: a crash left a partial append.
+	last := bytes.LastIndexByte(full[:len(full)-1], '\n') + 1
+	cut := last + (len(full)-last)/2
+	torn := full[:cut]
+
+	p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	rep, err := ReplayJournal(bytes.NewReader(torn), p)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if !rep.TornTail {
+		t.Error("torn tail not reported")
+	}
+	if rep.TornTailBytes != cut-last {
+		t.Errorf("TornTailBytes = %d, want %d", rep.TornTailBytes, cut-last)
+	}
+
+	// The applied state must equal a replay of the complete prefix.
+	want, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err := Replay(bytes.NewReader(full[:last]), want); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := fmt.Sprint(p.Snapshot()), fmt.Sprint(want.Snapshot()); g != w {
+		t.Errorf("torn-tail state %s != prefix state %s", g, w)
+	}
+	if rep.Entries == 0 {
+		t.Error("no entries applied from the complete prefix")
+	}
+	// Recovery outcomes land in the platform registry for /v1/metrics.
+	if got := p.Metrics().Counter(obs.MRecoveryTornLinesTotal).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MRecoveryTornLinesTotal, got)
+	}
+	if got := p.Metrics().Counter(obs.MRecoveryEntriesTotal).Value(); got != int64(rep.Entries) {
+		t.Errorf("%s = %d, want %d", obs.MRecoveryEntriesTotal, got, rep.Entries)
+	}
+	if got := p.Metrics().Counter(obs.MRecoveryTicksTotal).Value(); got != int64(rep.Ticks) {
+		t.Errorf("%s = %d, want %d", obs.MRecoveryTicksTotal, got, rep.Ticks)
+	}
+}
+
+func TestReplayUnterminatedCompleteFinalLineApplies(t *testing.T) {
+	full, orig := journalBytes(t)
+	// Strip only the trailing newline: the final entry is byte-complete.
+	p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	rep, err := ReplayJournal(bytes.NewReader(full[:len(full)-1]), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornTail {
+		t.Error("complete final line misreported as torn")
+	}
+	if g, w := fmt.Sprint(p.Snapshot()), fmt.Sprint(orig.Snapshot()); g != w {
+		t.Errorf("state %s != original %s", g, w)
+	}
+}
+
+func TestReplayInteriorCorruptionFailsWithLineNumber(t *testing.T) {
+	full, _ := journalBytes(t)
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	// Corrupt line 3 (interior, newline-terminated): must fail loudly even
+	// though later lines are fine.
+	lines[2] = []byte("{\"kind\":\"worker\",\"wor\n")
+	corrupt := bytes.Join(lines, nil)
+	p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	err := Replay(bytes.NewReader(corrupt), p)
+	if err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestReplayHugeLineHasNoSizeCap(t *testing.T) {
+	// A worker holding ~700k skills journals as a single line well past the
+	// old 4 MiB scanner cap; replay must still read it.
+	skills := make([]model.Skill, 700_000)
+	for i := range skills {
+		skills[i] = model.Skill(i)
+	}
+	var log bytes.Buffer
+	j := NewJournal(&log, nil)
+	p1, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	if _, err := p1.AddWorker(model.Worker{Wait: 1, Velocity: 1, MaxDist: 1, Skills: model.NewSkillSet(skills...)}); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() <= 4*1024*1024 {
+		t.Fatalf("journal line only %d bytes; test needs > 4 MiB", log.Len())
+	}
+	p2, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err := Replay(bytes.NewReader(log.Bytes()), p2); err != nil {
+		t.Fatalf("huge line rejected: %v", err)
+	}
+	if p2.Snapshot().Workers != 1 {
+		t.Error("huge worker lost")
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for s, want := range map[string]FsyncMode{
+		"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever,
+	} {
+		got, err := ParseFsyncMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncMode(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("FsyncMode(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestFsyncAlwaysCountsSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "platform.jsonl")
+	j, err := OpenJournalMode(path, FsyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	driveExample(t, p)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appends := p.Metrics().Counter(obs.MJournalAppendsTotal).Value()
+	fsyncs := p.Metrics().Counter(obs.MJournalFsyncsTotal).Value()
+	if appends != 10 {
+		t.Errorf("appends = %d, want 10", appends)
+	}
+	if fsyncs < appends {
+		t.Errorf("fsync=always synced %d times for %d appends", fsyncs, appends)
+	}
+	if bytes := p.Metrics().Counter(obs.MJournalBytesTotal).Value(); bytes == 0 {
+		t.Error("journal bytes not counted")
+	}
+}
+
+func TestJournalRewindTruncatesAndStaysAppendable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "platform.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	p, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	driveExample(t, p)
+	if err := j.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("rewound journal is %d bytes", fi.Size())
+	}
+	// Post-rewind events land at the new EOF and replay cleanly.
+	if _, err := p.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 1 {
+		t.Fatalf("post-rewind journal has %d lines, want 1", got)
+	}
+	if !strings.Contains(string(data), `"kind":"tick"`) {
+		t.Errorf("post-rewind journal = %q", data)
+	}
+	if err := j.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	if NewJournal(&bytes.Buffer{}, nil).Rewind() == nil {
+		t.Error("writer-backed journal rewound")
+	}
+}

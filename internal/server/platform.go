@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dasc/internal/core"
@@ -33,6 +34,18 @@ type Platform struct {
 	cache       *core.EngineCache
 	noCache     bool
 	verifyCache bool
+
+	// Durability policy: after snapEvery ticks the platform snapshots its
+	// state to snapPath and rotates the journal (snapshot.go).
+	snapPath       string
+	snapEvery      int
+	ticksSinceSnap int
+
+	// maxBody caps HTTP request bodies (http.go); notReady gates mutating
+	// endpoints while the process is still recovering (GET /v1/readyz).
+	// Zero value = ready, so in-process embedders need no extra call.
+	maxBody  int64
+	notReady atomic.Bool
 
 	// reg and traces are the server's observability surface: every tick is
 	// recorded as an obs.BatchTrace, folded into reg (GET /v1/metrics) and
@@ -86,6 +99,16 @@ type Config struct {
 	// TraceDepth is how many recent batch traces GET /v1/trace can serve;
 	// zero means obs.DefaultTraceDepth.
 	TraceDepth int
+	// SnapshotPath, when non-empty, is where state snapshots are written
+	// (atomically, temp-file + rename). POST /v1/snapshot writes one on
+	// demand; with SnapshotEvery > 0 one is also written every that many
+	// ticks. Each snapshot rotates (rewinds) the journal.
+	SnapshotPath string
+	// SnapshotEvery is the automatic snapshot cadence in ticks; zero means
+	// manual snapshots only.
+	SnapshotEvery int
+	// MaxBodyBytes caps HTTP request bodies; zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
 }
 
 // NewPlatform creates an empty platform.
@@ -100,7 +123,20 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if dist == nil {
 		dist = geo.Euclidean
 	}
-	return &Platform{
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("server: negative snapshot cadence %d", cfg.SnapshotEvery)
+	}
+	if cfg.SnapshotEvery > 0 && cfg.SnapshotPath == "" {
+		return nil, errors.New("server: Config.SnapshotEvery set without Config.SnapshotPath")
+	}
+	if cfg.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("server: negative request body cap %d", cfg.MaxBodyBytes)
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	p := &Platform{
 		alloc:       cfg.Allocator,
 		serviceTime: cfg.ServiceTime,
 		dist:        dist,
@@ -108,13 +144,28 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		cache:       core.NewEngineCache(),
 		noCache:     cfg.DisableEngineCache,
 		verifyCache: cfg.VerifyEngineCache,
+		snapPath:    cfg.SnapshotPath,
+		snapEvery:   cfg.SnapshotEvery,
+		maxBody:     maxBody,
 		reg:         obs.NewRegistry(),
 		traces:      obs.NewTraceRing(cfg.TraceDepth),
 		assigned:    make(map[model.TaskID]model.WorkerID),
 		botched:     make(map[model.TaskID]bool),
 		finishAt:    make(map[model.TaskID]float64),
-	}, nil
+	}
+	// The journal reports durability metrics through the platform registry
+	// so appends/fsyncs show up on GET /v1/metrics.
+	p.journal.SetMetrics(p.reg)
+	return p, nil
 }
+
+// SetReady flips the platform's readiness (GET /v1/readyz; mutating
+// endpoints return 503 while not ready). Platforms start ready; a serving
+// process clears readiness before recovery and restores it after.
+func (p *Platform) SetReady(ready bool) { p.notReady.Store(!ready) }
+
+// Ready reports whether the platform accepts mutating requests.
+func (p *Platform) Ready() bool { return !p.notReady.Load() }
 
 // AddWorker registers a worker and returns its ID. Fields other than the ID
 // are taken from w verbatim; validation mirrors model.Instance.Validate.
@@ -257,6 +308,7 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 	rec.SetPopulation(out.Workers, out.Tasks)
 	if len(bws) == 0 || len(pending) == 0 {
 		p.recordTick(out, rec)
+		p.maybeSnapshotLocked()
 		return out, nil
 	}
 
@@ -328,6 +380,7 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 	rec.SetOutcome(valid.Size(), out.Wasted, out.Rogue)
 	rec.ObservePhases(indexD, allocD, time.Since(phaseStart))
 	p.recordTick(out, rec)
+	p.maybeSnapshotLocked()
 	return out, nil
 }
 
@@ -404,6 +457,10 @@ func (p *Platform) Assignments() *model.Assignment {
 func (p *Platform) Instance() *model.Instance {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.instanceLocked()
+}
+
+func (p *Platform) instanceLocked() *model.Instance {
 	in := &model.Instance{
 		Workers: append([]model.Worker(nil), p.workers...),
 		Tasks:   make([]model.Task, len(p.tasks)),

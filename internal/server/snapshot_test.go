@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/model"
+)
+
+// stateString folds the platform's logical state into one comparable
+// string: clock, counters and the full assignment. Cache/memo observability
+// counters are excluded — a freshly restored platform rightly starts those
+// at zero.
+func stateString(p *Platform) string {
+	s := p.Snapshot()
+	return fmt.Sprintf("now=%v batches=%d workers=%d tasks=%d assigned=%d wasted=%d rogue=%d|%s",
+		s.Now, s.Batches, s.Workers, s.Tasks, s.AssignedTasks, s.WastedPairs, s.RoguePairs,
+		p.Assignments().String())
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p1, err := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveExample(t, p1)
+
+	var buf bytes.Buffer
+	if err := p1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if err := p2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s1, s2 := stateString(p1), stateString(p2); s1 != s2 {
+		t.Fatalf("restored state differs:\n%s\n%s", s1, s2)
+	}
+
+	// The restored platform must also evolve identically: worker locations,
+	// distance budgets and busy windows all feed future ticks.
+	if _, err := p1.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if s1, s2 := stateString(p1), stateString(p2); s1 != s2 {
+		t.Fatalf("post-restore tick diverged:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestReadSnapshotRejectsNonEmptyPlatform(t *testing.T) {
+	p1, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	driveExample(t, p1)
+	var buf bytes.Buffer
+	if err := p1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.ReadSnapshot(&buf); err == nil {
+		t.Fatal("restore into non-empty platform accepted")
+	}
+}
+
+func TestReadSnapshotRejectsCorruptSnapshots(t *testing.T) {
+	p1, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	driveExample(t, p1)
+	var buf bytes.Buffer
+	if err := p1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"bad worker ix": strings.Replace(good, `"worker":2`, `"worker":99`, 1),
+		"bad task ix":   strings.Replace(good, `"task":0`, `"task":99`, 1),
+	}
+	for name, body := range cases {
+		if body == good {
+			t.Fatalf("%s: replacement did not apply", name)
+		}
+		p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+		if err := p.ReadSnapshot(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveSnapshotRotatesJournalAndRecoverReplaysOnlyTail(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "platform.jsonl")
+	spath := filepath.Join(dir, "platform.snap")
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	p1, _ := NewPlatform(Config{Allocator: core.NewGreedy(), Journal: j})
+	driveExample(t, p1) // 8 registrations + 2 ticks
+
+	info, err := p1.SaveSnapshot(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Rotated || info.Bytes == 0 {
+		t.Fatalf("snapshot info = %+v", info)
+	}
+	if fi, _ := os.Stat(jpath); fi.Size() != 0 {
+		t.Fatalf("journal not rotated: %d bytes", fi.Size())
+	}
+
+	// Post-snapshot activity lands in the (short) journal tail.
+	if _, err := p1.AddWorker(model.Worker{Loc: pt(3, 3), Wait: 100, Velocity: 1, MaxDist: 100, Skills: model.NewSkillSet(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	rep, err := Recover(p2, spath, jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SnapshotLoaded {
+		t.Error("snapshot not loaded")
+	}
+	// Recovery must replay only the post-snapshot tail, not the 2 ticks the
+	// snapshot already absorbed.
+	if rep.Replay.Ticks != 1 || rep.Replay.Entries != 2 {
+		t.Errorf("tail replay = %d entries / %d ticks, want 2 / 1", rep.Replay.Entries, rep.Replay.Ticks)
+	}
+	if s1, s2 := stateString(p1), stateString(p2); s1 != s2 {
+		t.Fatalf("recovered state differs:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestAutoSnapshotEveryNTicks(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "platform.jsonl")
+	spath := filepath.Join(dir, "platform.snap")
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	p1, _ := NewPlatform(Config{
+		Allocator: core.NewGreedy(), Journal: j,
+		SnapshotPath: spath, SnapshotEvery: 2,
+	})
+	driveExample(t, p1) // 2 ticks → exactly one automatic snapshot
+	if _, err := os.Stat(spath); err != nil {
+		t.Fatalf("automatic snapshot missing: %v", err)
+	}
+	if fi, _ := os.Stat(jpath); fi.Size() != 0 {
+		t.Fatalf("journal not rotated by automatic snapshot: %d bytes", fi.Size())
+	}
+	p2, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	rep, err := Recover(p2, spath, jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SnapshotLoaded || rep.Replay.Entries != 0 {
+		t.Errorf("recovery = %+v, want snapshot only", rep)
+	}
+	if s1, s2 := stateString(p1), stateString(p2); s1 != s2 {
+		t.Fatalf("recovered state differs:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestRecoverTruncatesTornTailFromFile(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "platform.jsonl")
+	full, _ := journalBytes(t)
+	last := bytes.LastIndexByte(full[:len(full)-1], '\n') + 1
+	cut := last + (len(full)-last)/2
+	if err := os.WriteFile(jpath, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	rep, err := Recover(p2, "", jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Replay.TornTail {
+		t.Error("torn tail not reported")
+	}
+	// The torn fragment must be gone from disk: appending new events after
+	// recovery must not bury a partial line mid-file.
+	if fi, _ := os.Stat(jpath); fi.Size() != int64(last) {
+		t.Fatalf("journal = %d bytes after recovery, want %d", fi.Size(), last)
+	}
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.mu.Lock()
+	p2.journal = j
+	p2.mu.Unlock()
+	if _, err := p2.Tick(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p3, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	if rep, err := Recover(p3, "", jpath); err != nil {
+		t.Fatalf("second recovery after post-torn appends: %v", err)
+	} else if rep.Replay.TornTail {
+		t.Error("second recovery still sees a torn tail")
+	}
+	if p3.Snapshot().Batches != p2.Snapshot().Batches {
+		t.Errorf("batches = %d, want %d", p3.Snapshot().Batches, p2.Snapshot().Batches)
+	}
+}
+
+// TestReplayTruncatedAtEveryByteOffset is the crash-injection property test:
+// for a valid journal cut at EVERY byte offset, replay must never panic and
+// must restore exactly the state of the journal's complete-line prefix — or,
+// when the cut lands precisely at the end of a line's JSON (newline lost but
+// entry complete), that line applied too.
+func TestReplayTruncatedAtEveryByteOffset(t *testing.T) {
+	full, _ := journalBytes(t)
+
+	// Reference states after each complete-line prefix.
+	var prefixes []int // byte offset of each line end
+	for i, b := range full {
+		if b == '\n' {
+			prefixes = append(prefixes, i+1)
+		}
+	}
+	states := make([]string, 0, len(prefixes)+1)
+	lineOf := make(map[int]int, len(prefixes)) // content-end offset → line index
+	p0, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+	states = append(states, stateString(p0))
+	for k, end := range prefixes {
+		p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+		if err := Replay(bytes.NewReader(full[:end]), p); err != nil {
+			t.Fatalf("clean prefix of %d lines rejected: %v", k+1, err)
+		}
+		states = append(states, stateString(p))
+		lineOf[end-1] = k + 1 // cut just before '\n': line content complete
+	}
+
+	for off := 0; off <= len(full); off++ {
+		// Count complete lines in full[:off].
+		k := 0
+		for _, end := range prefixes {
+			if end <= off {
+				k++
+			}
+		}
+		p, _ := NewPlatform(Config{Allocator: core.NewGreedy()})
+		rep, err := ReplayJournal(bytes.NewReader(full[:off]), p)
+		if err != nil {
+			t.Fatalf("offset %d: replay failed: %v", off, err)
+		}
+		got := stateString(p)
+		want := states[k]
+		if got == want {
+			continue
+		}
+		// The one legal alternative: the cut preserved the final line's
+		// full JSON (only the newline is missing), so it applied.
+		if n, ok := lineOf[off]; ok && !rep.TornTail && got == states[n] {
+			continue
+		}
+		t.Fatalf("offset %d (%d complete lines): state diverged\n got %s\nwant %s", off, k, got, want)
+	}
+}

@@ -42,4 +42,14 @@ echo "== bench smoke"
 BENCH_OUT=$(mktemp) sh scripts/bench.sh -quick >/dev/null
 echo "bench smoke: OK"
 
+# Black-box durability check: a real dasc-server process with a journal is
+# loaded over HTTP, SIGTERMed, restarted, and its /v1/stats +
+# /v1/assignments diffed against the pre-kill values; a second round does
+# the same through a snapshot + journal-tail recovery. The in-process
+# equivalents (including truncation at every byte offset) run in the
+# race-enabled server tests above.
+echo "== lifecycle smoke (kill-and-restart differential)"
+sh scripts/lifecycle_smoke.sh >/dev/null
+echo "lifecycle smoke: OK"
+
 echo "verify: OK"
