@@ -1,0 +1,681 @@
+// Command dasc-loadgen drives registration load against a running
+// dasc-server and reports ingest throughput and latency percentiles as
+// JSON. It exists to measure the group-commit ingest pipeline: N concurrent
+// clients POST workers and tasks, and the report shows how many commits per
+// second the server sustains and what the acknowledgement latency
+// distribution looks like (p50/p90/p99/max).
+//
+//	dasc-loadgen -url http://127.0.0.1:8080 -clients 64 -n 5000
+//
+// Two pacing modes:
+//
+//   - closed loop (default): each client issues its next request as soon as
+//     the previous one is acknowledged — measures the server's saturated
+//     throughput.
+//   - open loop (-rate R): requests are launched on a fixed schedule of R
+//     per second regardless of completions — measures latency at a target
+//     arrival rate, including queueing delay when the server falls behind.
+//
+// Backpressure (HTTP 429) and journal-failure (503) responses are counted
+// and retried with a short backoff; only 2xx acknowledgements count toward
+// throughput and the latency distribution.
+//
+// With -verify-journal the run ends by replaying the server's journal (and
+// snapshot, if one exists) into a fresh in-process platform and comparing
+// the replayed registries byte-for-byte against GET /v1/instance — proving
+// that everything the server acknowledged is durable and nothing diverged.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dasc/internal/core"
+	"dasc/internal/dataset"
+	"dasc/internal/server"
+)
+
+func main() {
+	cfg := loadConfig{}
+	var (
+		out       = flag.String("out", "", "write the JSON report to this path (default stdout)")
+		verifyJnl = flag.String("verify-journal", "", "after the run, replay this journal and compare against GET /v1/instance")
+		verifySnp = flag.String("verify-snapshot", "", "snapshot restored before the -verify-journal replay (default <journal>.snap if it exists)")
+	)
+	flag.StringVar(&cfg.BaseURL, "url", "http://127.0.0.1:8080", "base URL of the dasc-server under test")
+	flag.IntVar(&cfg.Clients, "clients", 64, "concurrent client goroutines")
+	flag.IntVar(&cfg.N, "n", 5000, "total registrations to issue")
+	flag.Float64Var(&cfg.Rate, "rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
+	flag.Float64Var(&cfg.TaskFrac, "task-frac", 0.25, "fraction of registrations that are tasks (the rest are workers)")
+	flag.Float64Var(&cfg.DepFrac, "dep-frac", 0.3, "fraction of tasks that depend on an earlier task")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "workload generator seed")
+	flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-loadgen:", err)
+		os.Exit(1)
+	}
+	if *verifyJnl != "" {
+		snap := *verifySnp
+		if snap == "" {
+			if _, err := os.Stat(*verifyJnl + ".snap"); err == nil {
+				snap = *verifyJnl + ".snap"
+			}
+		}
+		v, err := verifyJournal(cfg.BaseURL, cfg.Timeout, *verifyJnl, snap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dasc-loadgen: verify:", err)
+			os.Exit(1)
+		}
+		rep.Verify = &v
+		if !v.Match {
+			writeReport(rep, *out)
+			fmt.Fprintln(os.Stderr, "dasc-loadgen: journal replay DIVERGES from served state:", v.Detail)
+			os.Exit(1)
+		}
+	}
+	if err := writeReport(rep, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "dasc-loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dasc-loadgen: %d ok (%d workers, %d tasks) in %.2fs = %.0f req/s; p50 %.2fms p99 %.2fms; %d backpressured, %d failed\n",
+		rep.Succeeded, rep.Workers, rep.Tasks, rep.DurationS, rep.Throughput,
+		rep.Latency.P50MS, rep.Latency.P99MS, rep.Status429, rep.Status503+rep.StatusOther)
+}
+
+// loadConfig parameterises one load run.
+type loadConfig struct {
+	BaseURL  string
+	Clients  int
+	N        int
+	Rate     float64 // 0 = closed loop
+	TaskFrac float64
+	DepFrac  float64
+	Seed     int64
+	Timeout  time.Duration
+}
+
+// Report is the JSON document a run emits.
+type Report struct {
+	Mode        string        `json:"mode"` // "closed" or "open"
+	URL         string        `json:"url"`
+	Clients     int           `json:"clients"`
+	RateTarget  float64       `json:"rate_target,omitempty"`
+	Requests    int           `json:"requests"`
+	Succeeded   int           `json:"succeeded"`
+	Workers     int           `json:"workers"`
+	Tasks       int           `json:"tasks"`
+	Status429   int           `json:"status_429"`
+	Status503   int           `json:"status_503"`
+	StatusOther int           `json:"status_other"`
+	Retries     int           `json:"retries"`
+	DurationS   float64       `json:"duration_s"`
+	Throughput  float64       `json:"throughput_rps"` // successful registrations per second
+	Latency     LatencyStats  `json:"latency"`
+	Verify      *VerifyResult `json:"verify,omitempty"`
+}
+
+// LatencyStats summarises acknowledgement latency over successful requests.
+type LatencyStats struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// VerifyResult reports the journal-replay equivalence check.
+type VerifyResult struct {
+	Match         bool   `json:"match"`
+	ServedBytes   int    `json:"served_bytes"`
+	ReplayedBytes int    `json:"replayed_bytes"`
+	Detail        string `json:"detail,omitempty"`
+}
+
+// clientStats is one client goroutine's tallies, merged after the run.
+type clientStats struct {
+	latencies []float64 // ms, successful requests only
+	workers   int
+	tasks     int
+	s429      int
+	s503      int
+	other     int
+	retries   int
+}
+
+// runLoad executes the configured load and summarises it.
+func runLoad(cfg loadConfig) (*Report, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("clients must be positive (got %d)", cfg.Clients)
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("n must be positive (got %d)", cfg.N)
+	}
+
+	// Open loop: a pacer releases one token per 1/rate seconds; clients
+	// block on the token channel, so launch times follow the schedule (a
+	// backed-up server shows up as queueing delay, not a lower rate).
+	var tokens chan struct{}
+	if cfg.Rate > 0 {
+		tokens = make(chan struct{}, cfg.N)
+		go func() {
+			interval := time.Duration(float64(time.Second) / cfg.Rate)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for i := 0; i < cfg.N; i++ {
+				tokens <- struct{}{}
+				<-tick.C
+			}
+			close(tokens)
+		}()
+	}
+
+	var (
+		issued  atomic.Int64 // closed-loop request budget
+		maxTask atomic.Int64 // highest acknowledged task ID + 1, for deps
+		stats   = make([]clientStats, cfg.Clients)
+		wg      sync.WaitGroup
+	)
+	maxTask.Store(0)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			st := &stats[c]
+			rc, err := newRawClient(cfg.BaseURL, cfg.Timeout)
+			if err != nil {
+				st.other++
+				return
+			}
+			defer rc.close()
+			// Pre-generate a pool of request bodies (wrk-style): float
+			// formatting off the hot loop means the generator steals less of
+			// the core it usually shares with the server under test. Tasks
+			// that draw a dependency still need a fresh body, because the
+			// dependable ID range only grows as acknowledgements come back.
+			const poolSize = 256
+			wbodies := make([][]byte, poolSize)
+			tbodies := make([][]byte, poolSize)
+			for i := range wbodies {
+				wbodies[i] = workerBody(rng)
+				tbodies[i] = taskBody(rng, 0, 0)
+			}
+			pick := 0
+			for {
+				if tokens != nil {
+					if _, ok := <-tokens; !ok {
+						return
+					}
+				} else if issued.Add(1) > int64(cfg.N) {
+					return
+				}
+				isTask := rng.Float64() < cfg.TaskFrac
+				var path string
+				var body []byte
+				pick++
+				if isTask {
+					path = "/v1/tasks"
+					if mt := maxTask.Load(); mt > 0 && rng.Float64() < cfg.DepFrac {
+						body = taskBody(rng, 1, mt)
+					} else {
+						body = tbodies[pick%poolSize]
+					}
+				} else {
+					path, body = "/v1/workers", wbodies[pick%poolSize]
+				}
+				id, ok := post(rc, path, body, st)
+				if !ok {
+					continue
+				}
+				if isTask {
+					st.tasks++
+					for { // publish max acknowledged task ID for future deps
+						cur := maxTask.Load()
+						if int64(id)+1 <= cur || maxTask.CompareAndSwap(cur, int64(id)+1) {
+							break
+						}
+					}
+				} else {
+					st.workers++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Mode:       "closed",
+		URL:        cfg.BaseURL,
+		Clients:    cfg.Clients,
+		RateTarget: cfg.Rate,
+		DurationS:  elapsed.Seconds(),
+	}
+	if cfg.Rate > 0 {
+		rep.Mode = "open"
+	}
+	var all []float64
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.latencies...)
+		rep.Workers += st.workers
+		rep.Tasks += st.tasks
+		rep.Status429 += st.s429
+		rep.Status503 += st.s503
+		rep.StatusOther += st.other
+		rep.Retries += st.retries
+	}
+	rep.Succeeded = rep.Workers + rep.Tasks
+	rep.Requests = rep.Succeeded + rep.Status429 + rep.Status503 + rep.StatusOther
+	if rep.DurationS > 0 {
+		rep.Throughput = float64(rep.Succeeded) / rep.DurationS
+	}
+	rep.Latency = summarise(all)
+	return rep, nil
+}
+
+// post issues one registration, retrying 429/503 with a short backoff (the
+// bench deliberately ignores the server's 1s Retry-After hint: it measures
+// how fast the queue reopens, not how polite clients should be). Returns the
+// assigned ID and whether the registration was acknowledged.
+//
+// The hot path avoids net/http and encoding/json on purpose: the loadgen
+// often shares a core with the server under test, so every cycle it burns is
+// stolen from the system being measured (the same reason wrk and friends
+// speak hand-rolled HTTP). The {"id":n} acknowledgement is parsed with a
+// byte scan.
+func post(rc *rawClient, path string, body []byte, st *clientStats) (int, bool) {
+	const maxAttempts = 100
+	backoff := time.Millisecond
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		t0 := time.Now()
+		status, respBody, err := rc.post(path, body)
+		if err != nil {
+			st.other++
+			return 0, false
+		}
+		switch {
+		case status == http.StatusCreated || status == http.StatusOK:
+			id, ok := parseID(respBody)
+			if !ok {
+				st.other++
+				return 0, false
+			}
+			st.latencies = append(st.latencies, float64(time.Since(t0))/float64(time.Millisecond))
+			return id, true
+		case status == http.StatusTooManyRequests:
+			st.s429++
+		case status == http.StatusServiceUnavailable:
+			st.s503++
+		default:
+			st.other++
+			return 0, false
+		}
+		st.retries++
+		time.Sleep(backoff)
+		if backoff < 32*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return 0, false
+}
+
+// rawClient is a minimal HTTP/1.1 client over a single keep-alive
+// connection: preformatted request bytes out, status line + headers + sized
+// body back, reusing one buffer for everything. Responses must carry
+// Content-Length (net/http always sets it for small bodies); anything else
+// is an error rather than a slow path.
+type rawClient struct {
+	network string
+	addr    string
+	host    string
+	timeout time.Duration
+
+	deadlineAt time.Time
+	conn       net.Conn
+	br         *bufio.Reader
+	reqBuf     []byte
+	body       []byte
+}
+
+func newRawClient(base string, timeout time.Duration) (*rawClient, error) {
+	network, addr, host, err := parseTarget(base)
+	if err != nil {
+		return nil, err
+	}
+	return &rawClient{network: network, addr: addr, host: host, timeout: timeout}, nil
+}
+
+// parseTarget resolves -url into a dialable (network, address) pair plus the
+// Host header to send. "unix:/path/to.sock" targets a Unix-domain socket —
+// the transport dasc-server exposes via -addr unix:/path — and plain
+// http://host:port stays TCP.
+func parseTarget(base string) (network, addr, host string, err error) {
+	if path, ok := strings.CutPrefix(base, "unix:"); ok && path != "" {
+		return "unix", path, "localhost", nil
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return "", "", "", err
+	}
+	if u.Scheme != "http" {
+		return "", "", "", fmt.Errorf("loadgen speaks plain http only (got %q)", base)
+	}
+	addr = u.Host
+	if u.Port() == "" {
+		addr = net.JoinHostPort(u.Hostname(), "80")
+	}
+	return "tcp", addr, u.Host, nil
+}
+
+func (c *rawClient) dial() error {
+	conn, err := net.DialTimeout(c.network, c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(conn, 4096)
+	} else {
+		c.br.Reset(conn)
+	}
+	return nil
+}
+
+func (c *rawClient) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// post performs one round trip, redialing once on a stale keep-alive
+// connection. The returned body is only valid until the next call.
+func (c *rawClient) post(path string, body []byte) (int, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			if err := c.dial(); err != nil {
+				return 0, nil, err
+			}
+		}
+		status, respBody, err := c.roundTrip(path, body)
+		if err != nil {
+			c.close()
+			if attempt == 0 {
+				continue
+			}
+			return 0, nil, err
+		}
+		return status, respBody, nil
+	}
+}
+
+func (c *rawClient) roundTrip(path string, body []byte) (int, []byte, error) {
+	b := c.reqBuf[:0]
+	b = append(b, "POST "...)
+	b = append(b, path...)
+	b = append(b, " HTTP/1.1\r\nHost: "...)
+	b = append(b, c.host...)
+	b = append(b, "\r\nContent-Type: application/json\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, "\r\n\r\n"...)
+	b = append(b, body...)
+	c.reqBuf = b
+	// Refresh the socket deadline lazily: the deadline only needs to bound a
+	// hung server, so resetting it once it has burned half its slack (rather
+	// than on every request) keeps two timer updates off the per-request path
+	// while still guaranteeing at least timeout/2 per round trip.
+	if now := time.Now(); now.After(c.deadlineAt.Add(-c.timeout / 2)) {
+		c.deadlineAt = now.Add(c.timeout)
+		c.conn.SetDeadline(c.deadlineAt)
+	}
+	if _, err := c.conn.Write(b); err != nil {
+		return 0, nil, err
+	}
+
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.1 ")) {
+		return 0, nil, fmt.Errorf("malformed status line %q", line)
+	}
+	status, err := strconv.Atoi(string(line[9:12]))
+	if err != nil {
+		return 0, nil, fmt.Errorf("malformed status line %q", line)
+	}
+
+	clen := -1
+	closing := false
+	for {
+		line, err = c.br.ReadSlice('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		if len(line) == 0 {
+			break
+		}
+		if k, v, ok := bytes.Cut(line, []byte(":")); ok {
+			v = bytes.TrimSpace(v)
+			switch {
+			case bytes.EqualFold(k, []byte("Content-Length")):
+				if clen, err = strconv.Atoi(string(v)); err != nil {
+					return 0, nil, fmt.Errorf("malformed Content-Length %q", v)
+				}
+			case bytes.EqualFold(k, []byte("Connection")):
+				closing = bytes.EqualFold(v, []byte("close"))
+			}
+		}
+	}
+	if clen < 0 {
+		return 0, nil, errors.New("response without Content-Length")
+	}
+	if cap(c.body) < clen {
+		c.body = make([]byte, clen)
+	}
+	respBody := c.body[:clen]
+	if _, err := io.ReadFull(c.br, respBody); err != nil {
+		return 0, nil, err
+	}
+	if closing {
+		c.close()
+	}
+	return status, respBody, nil
+}
+
+// parseID scans an acknowledgement body for `"id":<digits>`.
+func parseID(b []byte) (int, bool) {
+	i := bytes.Index(b, []byte(`"id":`))
+	if i < 0 {
+		return 0, false
+	}
+	i += len(`"id":`)
+	for i < len(b) && b[i] == ' ' {
+		i++
+	}
+	id, ok := 0, false
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		id = id*10 + int(b[i]-'0')
+		i++
+		ok = true
+	}
+	return id, ok
+}
+
+// workerBody generates a valid worker registration without encoding/json
+// (see post for why the hot path stays allocation-lean).
+func workerBody(rng *rand.Rand) []byte {
+	return fmt.Appendf(nil,
+		`{"x":%.4f,"y":%.4f,"start":0,"wait":1000000,"velocity":%.4f,"max_dist":1000000,"skills":[%d]}`,
+		rng.Float64()*100, rng.Float64()*100, 1+rng.Float64(), rng.Intn(8))
+}
+
+// taskBody generates a valid task registration; with probability depFrac it
+// depends on one already-acknowledged task (IDs < maxTask are guaranteed
+// registered, so the dependency always validates).
+func taskBody(rng *rand.Rand, depFrac float64, maxTask int64) []byte {
+	b := fmt.Appendf(nil,
+		`{"x":%.4f,"y":%.4f,"start":0,"wait":1000000,"requires":%d,"weight":%.4f`,
+		rng.Float64()*100, rng.Float64()*100, rng.Intn(8), 1+rng.Float64())
+	if maxTask > 0 && rng.Float64() < depFrac {
+		b = fmt.Appendf(b, `,"deps":[%d]`, rng.Int63n(maxTask))
+	}
+	return append(b, '}')
+}
+
+// summarise computes the latency distribution; quantiles use the
+// nearest-rank method on the sorted sample.
+func summarise(ms []float64) LatencyStats {
+	var s LatencyStats
+	if len(ms) == 0 {
+		return s
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	s.MeanMS = sum / float64(len(ms))
+	s.P50MS = quantile(ms, 0.50)
+	s.P90MS = quantile(ms, 0.90)
+	s.P99MS = quantile(ms, 0.99)
+	s.MaxMS = ms[len(ms)-1]
+	return s
+}
+
+// quantile returns the nearest-rank q-quantile of sorted.
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// verifyJournal replays the server's durable state (snapshot restore, then
+// journal tail) into a fresh in-process platform and byte-compares the
+// replayed registries against what the live server serves from memory. Both
+// sides are normalised through the dataset codec, so a match means every
+// acknowledged registration is durable with identical fields and IDs. The
+// journal file is only read — unlike server.Recover this never truncates a
+// torn tail, since the file still belongs to the live server.
+func verifyJournal(baseURL string, timeout time.Duration, journalPath, snapPath string) (VerifyResult, error) {
+	var v VerifyResult
+	network, addr, _, err := parseTarget(baseURL)
+	if err != nil {
+		return v, err
+	}
+	httpc := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+	}
+	resp, err := httpc.Get("http://localhost/v1/instance")
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("GET /v1/instance: %s", resp.Status)
+	}
+	servedInst, err := dataset.Read(resp.Body)
+	if err != nil {
+		return v, fmt.Errorf("served instance: %w", err)
+	}
+	var served bytes.Buffer
+	if err := dataset.WriteCompact(&served, servedInst); err != nil {
+		return v, err
+	}
+
+	p, err := server.NewPlatform(server.Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		return v, err
+	}
+	if snapPath != "" {
+		f, err := os.Open(snapPath)
+		if err != nil {
+			return v, fmt.Errorf("snapshot: %w", err)
+		}
+		rerr := p.ReadSnapshot(f)
+		f.Close()
+		if rerr != nil {
+			return v, fmt.Errorf("snapshot: %w", rerr)
+		}
+	}
+	jf, err := os.Open(journalPath)
+	if err != nil {
+		return v, err
+	}
+	_, rerr := server.ReplayJournal(jf, p)
+	jf.Close()
+	if rerr != nil {
+		return v, fmt.Errorf("replay: %w", rerr)
+	}
+	var replayed bytes.Buffer
+	if err := dataset.WriteCompact(&replayed, p.Instance()); err != nil {
+		return v, err
+	}
+	v.ServedBytes = served.Len()
+	v.ReplayedBytes = replayed.Len()
+	v.Match = bytes.Equal(served.Bytes(), replayed.Bytes())
+	if !v.Match {
+		v.Detail = fmt.Sprintf("served %d bytes != replayed %d bytes", served.Len(), replayed.Len())
+		if sw, rw := len(servedInst.Workers), workerCount(&replayed); sw != rw {
+			v.Detail += fmt.Sprintf(" (workers %d vs %d)", sw, rw)
+		}
+	}
+	return v, nil
+}
+
+// workerCount pulls the worker count back out of a compact instance document
+// for divergence diagnostics.
+func workerCount(doc *bytes.Buffer) int {
+	in, err := dataset.Read(bytes.NewReader(doc.Bytes()))
+	if err != nil {
+		return -1
+	}
+	return len(in.Workers)
+}
+
+// writeReport emits the report as indented JSON to path or stdout.
+func writeReport(rep *Report, path string) error {
+	b, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dasc/internal/core"
+	"dasc/internal/server"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 5},
+		{0.90, 9},
+		{0.99, 10},
+		{0.01, 1},
+	}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); got != c.want {
+			t.Errorf("quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if s := summarise(nil); s.P50MS != 0 || s.MaxMS != 0 {
+		t.Errorf("summarise(nil) = %+v, want zero", s)
+	}
+}
+
+// TestRunLoadClosedLoop drives the closed-loop generator against an
+// in-process platform with the group-commit pipeline enabled, then checks
+// the -verify-journal path: the replayed journal must match the served
+// instance byte for byte.
+func TestRunLoadClosedLoop(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "events.jsonl")
+	jf, err := os.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	j := server.NewJournal(jf, nil)
+	p, err := server.NewPlatform(server.Config{
+		Allocator:   core.NewGreedy(),
+		Journal:     j,
+		IngestQueue: 512,
+		IngestBatch: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.Handler(p))
+	defer ts.Close()
+
+	const total = 300
+	rep, err := runLoad(loadConfig{
+		BaseURL:  ts.URL,
+		Clients:  8,
+		N:        total,
+		TaskFrac: 0.4,
+		DepFrac:  0.5,
+		Seed:     7,
+		Timeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" {
+		t.Errorf("mode = %q, want closed", rep.Mode)
+	}
+	if rep.Succeeded != total {
+		t.Fatalf("succeeded = %d, want %d (429s=%d 503s=%d other=%d)",
+			rep.Succeeded, total, rep.Status429, rep.Status503, rep.StatusOther)
+	}
+	if rep.Workers+rep.Tasks != total || rep.Workers == 0 || rep.Tasks == 0 {
+		t.Errorf("workers=%d tasks=%d, want a mix summing to %d", rep.Workers, rep.Tasks, total)
+	}
+	if rep.Latency.MaxMS < rep.Latency.P50MS {
+		t.Errorf("latency max %.3f < p50 %.3f", rep.Latency.MaxMS, rep.Latency.P50MS)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v, want > 0", rep.Throughput)
+	}
+
+	p.Close() // final drain lands in the journal before we replay it
+	v, err := verifyJournal(ts.URL, 10*time.Second, jpath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Match {
+		t.Errorf("journal replay diverges from served state: %s", v.Detail)
+	}
+	if v.ServedBytes == 0 || v.ReplayedBytes == 0 {
+		t.Errorf("verify sizes = %d/%d, want non-zero", v.ServedBytes, v.ReplayedBytes)
+	}
+}
+
+// TestRunLoadOpenLoop exercises the paced mode end to end (small rate so the
+// test stays fast) without a journal — the synchronous fallback path.
+func TestRunLoadOpenLoop(t *testing.T) {
+	p, err := server.NewPlatform(server.Config{Allocator: core.NewGreedy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.Handler(p))
+	defer ts.Close()
+
+	rep, err := runLoad(loadConfig{
+		BaseURL:  ts.URL,
+		Clients:  4,
+		N:        40,
+		Rate:     2000,
+		TaskFrac: 0.25,
+		Seed:     1,
+		Timeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Errorf("mode = %q, want open", rep.Mode)
+	}
+	if rep.Succeeded != 40 {
+		t.Errorf("succeeded = %d, want 40", rep.Succeeded)
+	}
+}

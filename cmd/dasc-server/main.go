@@ -37,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,7 +54,7 @@ func main() {
 
 func run() error {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
+		addr        = flag.String("addr", ":8080", "listen address (TCP host:port, or unix:/path for a Unix-domain socket)")
 		alg         = flag.String("alg", core.NameGreedy, "allocator name")
 		seed        = flag.Int64("seed", 1, "allocator seed")
 		interval    = flag.Float64("interval", 5, "batch interval in logical time units")
@@ -61,6 +62,9 @@ func run() error {
 		service     = flag.Float64("service", 0, "service duration per task")
 		manual      = flag.Bool("manual", false, "no automatic ticker; advance time via POST /v1/tick")
 		journal     = flag.String("journal", "", "append-only JSONL event log; replayed on startup to restore state")
+		ingQueue    = flag.Int("ingest-queue", 4096, "group-commit admission queue capacity; 0 = synchronous per-request commits")
+		ingBatch    = flag.Int("ingest-batch", server.DefaultIngestBatch, "max registrations committed per group-commit drain")
+		ingWait     = flag.Duration("ingest-wait", 0, "group-commit formation window: gather registrations this long (or to -ingest-batch) before each commit; 0 commits whatever has queued")
 		fsync       = flag.String("fsync", "interval", "journal durability: always, interval or never")
 		fsyncEvery  = flag.Duration("fsync-interval", server.DefaultFsyncInterval, "fsync cadence for -fsync=interval")
 		snapshot    = flag.String("snapshot", "", "state snapshot path (default <journal>.snap when -journal is set)")
@@ -94,6 +98,9 @@ func run() error {
 		SnapshotPath:  snapPath,
 		SnapshotEvery: *snapEvery,
 		MaxBodyBytes:  *maxBody,
+		IngestQueue:   *ingQueue,
+		IngestBatch:   *ingBatch,
+		IngestWait:    *ingWait,
 	}
 	if *journal != "" {
 		j, err := server.OpenJournalMode(*journal, mode, *fsyncEvery)
@@ -113,11 +120,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Stop the ingest committer (final drain included) before the journal
+	// defer above flushes and closes the file.
+	defer p.Close()
 
 	// Serve before recovering: /v1/healthz answers immediately, /v1/readyz
 	// and the mutating endpoints gate on recovery finishing.
 	p.SetReady(false)
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := listen(*addr)
 	if err != nil {
 		return err
 	}
@@ -174,6 +184,21 @@ func run() error {
 		log.Printf("dasc-server: stopped cleanly")
 		return nil
 	}
+}
+
+// listen opens the serving socket: "unix:/path" binds a Unix-domain socket
+// (a stale socket file from a previous run is removed first; Go unlinks it
+// again on listener close), anything else is a TCP address. Local reverse
+// proxies and benchmark rigs use the unix form to skip the TCP loopback
+// stack.
+func listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok && path != "" {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("remove stale socket %s: %w", path, err)
+		}
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
 }
 
 // shutdown drains in-flight requests, bounded by the configured limit.

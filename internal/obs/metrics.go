@@ -39,6 +39,19 @@ const (
 	MJournalBytesTotal   = "dasc_journal_bytes_total"
 	MJournalFsyncsTotal  = "dasc_journal_fsyncs_total"
 
+	// Ingest pipeline (server): the group-commit admission queue and its
+	// committer drains. Enqueued counts accepted stagings, rejected counts
+	// backpressured (429) submissions, committed/failed split drain results.
+	MIngestEnqueuedTotal  = "dasc_ingest_enqueued_total"
+	MIngestRejectedTotal  = "dasc_ingest_rejected_total"
+	MIngestDrainsTotal    = "dasc_ingest_drains_total"
+	MIngestCommittedTotal = "dasc_ingest_committed_total"
+	MIngestFailedTotal    = "dasc_ingest_failed_total"
+	MIngestQueueDepth     = "dasc_ingest_queue_depth"
+	TIngestBatchEntries   = "dasc_ingest_batch_entries"
+	TIngestCommitSeconds  = "dasc_ingest_commit_seconds"
+	TIngestJournalSeconds = "dasc_ingest_journal_seconds"
+
 	// Snapshots (server): atomic state snapshots that rotate the journal.
 	MSnapshotsTotal        = "dasc_snapshots_total"
 	MSnapshotFailuresTotal = "dasc_snapshot_failures_total"

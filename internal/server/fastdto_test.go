@@ -1,0 +1,116 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// decodeStrict mirrors the fallback path in decode(): the strict generic
+// decoder the fast path must agree with whenever it claims success.
+func decodeStrict(t *testing.T, body string, v any) error {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader([]byte(body)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// TestParseWorkerDTOEquivalence feeds a spread of bodies through the fast
+// scanner and the generic decoder. Whenever the fast path accepts, its
+// result must equal the decoder's; whenever it bails, the decoder must be
+// the one deciding (including producing errors for genuinely bad input).
+func TestParseWorkerDTOEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		fast bool // fast path expected to fully recognise the body
+	}{
+		{"typical", `{"x":1.5,"y":-2,"start":0,"wait":1e6,"velocity":1,"max_dist":1000,"skills":[3]}`, true},
+		{"whitespace", " {\n\t\"x\" : 2 , \"skills\" : [ 1 , 2 ] } ", true},
+		{"empty object", `{}`, true},
+		{"empty skills", `{"skills":[]}`, true},
+		{"exponents", `{"x":-1.25e-3,"y":2E+2}`, true},
+		{"unknown field", `{"x":1,"bogus":2}`, false},
+		{"string value", `{"x":"1"}`, false},
+		{"escaped key", `{"\u0078":1}`, false},
+		{"nested object", `{"x":{"a":1}}`, false},
+		{"null skills", `{"skills":null}`, false},
+		{"fractional skill", `{"skills":[1.5]}`, false},
+		{"out of range", `{"x":1e999}`, false},
+		{"truncated", `{"x":1`, false},
+		{"trailing garbage", `{"x":1}tail`, false},
+		{"not an object", `[1,2]`, false},
+		{"empty body", ``, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var fast workerDTO
+			ok := parseWorkerDTO([]byte(c.body), &fast)
+			if ok != c.fast {
+				t.Fatalf("parseWorkerDTO recognised=%v, want %v", ok, c.fast)
+			}
+			if !ok {
+				return // generic decoder decides; nothing to compare
+			}
+			var want workerDTO
+			if err := decodeStrict(t, c.body, &want); err != nil {
+				t.Fatalf("fast path accepted body the decoder rejects: %v", err)
+			}
+			if !reflect.DeepEqual(normWorker(fast), normWorker(want)) {
+				t.Errorf("fast %+v != decoder %+v", fast, want)
+			}
+		})
+	}
+}
+
+func TestParseTaskDTOEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		fast bool
+	}{
+		{"typical", `{"x":3,"y":4,"start":1,"wait":50,"requires":2,"deps":[0,1],"weight":1.5}`, true},
+		{"no deps", `{"x":3,"y":4,"requires":1,"weight":2}`, true},
+		{"empty deps", `{"deps":[]}`, true},
+		{"fractional requires", `{"requires":1.5}`, false},
+		{"unknown field", `{"velocity":1}`, false},
+		{"deps of strings", `{"deps":["a"]}`, false},
+		{"out of range weight", `{"weight":-1e999}`, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var fast taskDTO
+			ok := parseTaskDTO([]byte(c.body), &fast)
+			if ok != c.fast {
+				t.Fatalf("parseTaskDTO recognised=%v, want %v", ok, c.fast)
+			}
+			if !ok {
+				return
+			}
+			var want taskDTO
+			if err := decodeStrict(t, c.body, &want); err != nil {
+				t.Fatalf("fast path accepted body the decoder rejects: %v", err)
+			}
+			if !reflect.DeepEqual(normTask(fast), normTask(want)) {
+				t.Errorf("fast %+v != decoder %+v", fast, want)
+			}
+		})
+	}
+}
+
+// normWorker/normTask canonicalise nil vs empty slices, which the two paths
+// may legitimately differ on and no caller distinguishes.
+func normWorker(d workerDTO) workerDTO {
+	if len(d.Skills) == 0 {
+		d.Skills = nil
+	}
+	return d
+}
+
+func normTask(d taskDTO) taskDTO {
+	if len(d.Deps) == 0 {
+		d.Deps = nil
+	}
+	return d
+}

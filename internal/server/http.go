@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -31,6 +33,17 @@ type workerDTO struct {
 	Skills   []model.Skill `json:"skills"`
 }
 
+// validate rejects non-finite numeric fields at the DTO layer (the platform
+// re-checks; two layers so embedders calling AddWorker directly get the same
+// protection HTTP clients do).
+func (d *workerDTO) validate() error {
+	return checkFinite(
+		finiteField{"x", d.X}, finiteField{"y", d.Y},
+		finiteField{"start", d.Start}, finiteField{"wait", d.Wait},
+		finiteField{"velocity", d.Velocity}, finiteField{"max_dist", d.MaxDist},
+	)
+}
+
 // taskDTO is the JSON body of POST /v1/tasks. Weight must round-trip here:
 // model.Task, the journal and GET /v1/instance all carry it, and dropping it
 // at registration would silently zero every weighted-objective allocation.
@@ -44,9 +57,31 @@ type taskDTO struct {
 	Weight   float64        `json:"weight"`
 }
 
+// validate rejects non-finite numeric fields at the DTO layer.
+func (d *taskDTO) validate() error {
+	return checkFinite(
+		finiteField{"x", d.X}, finiteField{"y", d.Y},
+		finiteField{"start", d.Start}, finiteField{"wait", d.Wait},
+		finiteField{"weight", d.Weight},
+	)
+}
+
 // idResponse acknowledges a registration.
 type idResponse struct {
 	ID int `json:"id"`
+}
+
+// writeID answers a registration with {"id":n}. This is the hottest response
+// on the server, so it is formatted with strconv instead of going through the
+// reflective json encoder (which shows up in ingest-benchmark profiles).
+func writeID(w http.ResponseWriter, id int) {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, `{"id":`...)
+	buf = strconv.AppendInt(buf, int64(id), 10)
+	buf = append(buf, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write(buf)
 }
 
 // Handler returns the platform's HTTP API:
@@ -56,6 +91,7 @@ type idResponse struct {
 //	POST /v1/tick?t=12.5  run a batch at logical time  → BatchOutcome
 //	POST /v1/snapshot     write a state snapshot, rotate the journal
 //	GET  /v1/stats        counters
+//	GET  /v1/ingest       group-commit pipeline: queue depth + recent drains (?last=N)
 //	GET  /v1/metrics      metric registry, Prometheus text (?format=json for JSON)
 //	GET  /v1/trace        recent per-batch traces (?last=N for the newest N)
 //	GET  /v1/assignments  all valid pairs so far
@@ -65,7 +101,12 @@ type idResponse struct {
 //	GET  /v1/readyz       503 until recovery completes, then 200
 //
 // Mutating endpoints (the POSTs) return 503 while the platform is not ready
-// (recovering from its journal); reads are always served.
+// (recovering from its journal); reads are always served — /v1/stats,
+// /v1/assignments, /v1/instance and /v1/svg from the atomically swapped read
+// view, so they never contend with the ingest/tick mutex. Registration
+// failures classify: 422 for invalid requests, 429 + Retry-After when the
+// ingest admission queue is full, 503 + Retry-After when the journal (disk)
+// failed.
 func Handler(p *Platform) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +118,11 @@ func Handler(p *Platform) http.Handler {
 			httpError(w, decodeStatus(err), err)
 			return
 		}
-		id, err := p.AddWorker(model.Worker{
+		if err := dto.validate(); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		id, err := p.RegisterWorker(model.Worker{
 			Loc:      pt(dto.X, dto.Y),
 			Start:    dto.Start,
 			Wait:     dto.Wait,
@@ -86,10 +131,10 @@ func Handler(p *Platform) http.Handler {
 			Skills:   model.NewSkillSet(dto.Skills...),
 		})
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, registerStatus(w, err), err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
+		writeID(w, int(id))
 	})
 	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
 		if !ready(p, w) {
@@ -100,7 +145,11 @@ func Handler(p *Platform) http.Handler {
 			httpError(w, decodeStatus(err), err)
 			return
 		}
-		id, err := p.AddTask(model.Task{
+		if err := dto.validate(); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		id, err := p.RegisterTask(model.Task{
 			Loc:      pt(dto.X, dto.Y),
 			Start:    dto.Start,
 			Wait:     dto.Wait,
@@ -109,10 +158,10 @@ func Handler(p *Platform) http.Handler {
 			Weight:   dto.Weight,
 		})
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, registerStatus(w, err), err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, idResponse{ID: int(id)})
+		writeID(w, int(id))
 	})
 	mux.HandleFunc("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
 		if !ready(p, w) {
@@ -133,6 +182,13 @@ func Handler(p *Platform) http.Handler {
 		}
 		out, err := p.Tick(now)
 		if err != nil {
+			// A tick that failed because the DISK failed is the server's
+			// problem (503, retryable), not a request conflict.
+			if errors.Is(err, ErrJournal) {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
 			httpError(w, http.StatusConflict, err)
 			return
 		}
@@ -164,7 +220,25 @@ func Handler(p *Platform) http.Handler {
 		writeJSON(w, status, map[string]bool{"ready": p.Ready()})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, p.Snapshot())
+		writeJSON(w, http.StatusOK, p.StatsView())
+	})
+	mux.HandleFunc("GET /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		depth, capacity := p.IngestQueueDepth()
+		n := DefaultIngestBatch
+		if raw := r.URL.Query().Get("last"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("invalid ?last=%q: want a positive integer", raw))
+				return
+			}
+			n = v
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled":        capacity > 0,
+			"queue_depth":    depth,
+			"queue_capacity": capacity,
+			"drains":         p.IngestDrains(n),
+		})
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		switch format := r.URL.Query().Get("format"); format {
@@ -198,20 +272,20 @@ func Handler(p *Platform) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := dataset.WriteAssignment(w, p.Assignments()); err != nil {
+		if err := dataset.WriteAssignment(w, p.AssignmentsView()); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 		}
 	})
 	mux.HandleFunc("GET /v1/instance", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := dataset.Write(w, p.Instance()); err != nil {
+		if err := dataset.Write(w, p.InstanceView()); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 		}
 	})
 	mux.HandleFunc("GET /v1/svg", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "image/svg+xml")
-		err := viz.WriteSVG(w, p.Instance(), viz.SVGOptions{
-			Assignment: p.Assignments(),
+		err := viz.WriteSVG(w, p.InstanceView(), viz.SVGOptions{
+			Assignment: p.AssignmentsView(),
 			DrawDeps:   true,
 		})
 		if err != nil {
@@ -232,12 +306,71 @@ func ready(p *Platform, w http.ResponseWriter) bool {
 	return false
 }
 
-// decode reads a JSON request body capped at the platform's body limit.
+// decode reads a JSON request body capped at the platform's body limit. The
+// registration endpoints try the flat fast-path scanner first (fastdto.go)
+// and fall back to this strict decoder for anything it does not recognise,
+// so errors and edge cases are always the decoder's.
 func decode(p *Platform, w http.ResponseWriter, r *http.Request, v any) error {
-	body := http.MaxBytesReader(w, r.Body, p.maxBody)
-	dec := json.NewDecoder(body)
+	body, bp, err := readBody(p, w, r)
+	if err != nil {
+		return err
+	}
+	defer bodyPool.Put(bp)
+	switch d := v.(type) {
+	case *workerDTO:
+		if parseWorkerDTO(body, d) {
+			return nil
+		}
+	case *taskDTO:
+		if parseTaskDTO(body, d) {
+			return nil
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// readBody drains the request body into a pooled buffer, preserving the
+// MaxBytesReader size cap (readers past the cap surface *MaxBytesError,
+// which decodeStatus maps to 413). The returned pool entry must be Put back
+// once the bytes are no longer referenced.
+func readBody(p *Platform, w http.ResponseWriter, r *http.Request) ([]byte, *[]byte, error) {
+	mb := http.MaxBytesReader(w, r.Body, p.maxBody)
+	bp := bodyPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := mb.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*bp = buf
+			return buf, bp, nil
+		}
+		if err != nil {
+			*bp = buf
+			bodyPool.Put(bp)
+			return nil, nil, err
+		}
+	}
+}
+
+// registerStatus maps a registration failure to its HTTP status. Durability
+// failures (ErrJournal) and a closing platform are the server's fault — 503
+// with a Retry-After hint; a full admission queue is backpressure — 429 with
+// Retry-After; everything else is request validation — 422.
+func registerStatus(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, ErrJournal), errors.Is(err, ErrPlatformClosed):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrIngestBacklog):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusTooManyRequests
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // decodeStatus maps a decode failure to its HTTP status: 413 when the body

@@ -62,6 +62,23 @@ func (m FsyncMode) String() string {
 // DefaultFsyncInterval is the interval-mode sync cadence when none is given.
 const DefaultFsyncInterval = time.Second
 
+// ErrJournal classifies failures of the durability layer — a journal append,
+// flush or fsync going wrong — as distinct from request-validation failures.
+// Mutating platform operations wrap journal errors so errors.Is(err,
+// ErrJournal) holds; the HTTP layer maps them to 503 + Retry-After (the
+// server's disk is the problem, not the client's request).
+var ErrJournal = errors.New("journal failure")
+
+// journalError wraps an underlying journal error so it classifies as
+// ErrJournal while keeping the original error chain and the stable
+// "server: journal:" message prefix.
+type journalError struct{ err error }
+
+func (e *journalError) Error() string        { return "server: journal: " + e.err.Error() }
+func (e *journalError) Unwrap() error        { return e.err }
+func (e *journalError) Is(target error) bool { return target == ErrJournal }
+func journalFailure(err error) error         { return &journalError{err: err} }
+
 // Journal is an append-only JSONL event log for the platform: every worker
 // registration, task registration and batch tick is recorded as one line, so
 // a crashed or restarted server can rebuild its exact state with Replay.
@@ -77,16 +94,29 @@ type Journal struct {
 	interval time.Duration
 	lastSync time.Time
 	reg      *obs.Registry // nil-safe metric sink (dasc_journal_*)
+	cAppends *obs.Counter  // resolved once in SetMetrics; nil = no-op
+	cBytes   *obs.Counter
+	cFsyncs  *obs.Counter
 	err      error
 }
 
+// journalBatchVersion identifies the multi-entry group-commit record format
+// ("batch" lines). v1 lines are the single-entry worker/task/tick records;
+// replay accepts both side by side.
+const journalBatchVersion = 2
+
 // journalEntry is one logged event. Exactly one of the payload fields is set.
 type journalEntry struct {
-	// Kind is "worker", "task" or "tick".
+	// Kind is "worker", "task", "tick" — or "batch" for the v2 multi-entry
+	// group-commit record (V = journalBatchVersion, Entries = the
+	// registrations committed together under a single fsync).
 	Kind   string         `json:"kind"`
 	Worker *journalWorker `json:"worker,omitempty"`
 	Task   *journalTask   `json:"task,omitempty"`
 	Tick   *float64       `json:"tick,omitempty"`
+
+	V       int            `json:"v,omitempty"`
+	Entries []journalEntry `json:"entries,omitempty"`
 }
 
 type journalWorker struct {
@@ -149,10 +179,21 @@ func (j *Journal) SetMetrics(reg *obs.Registry) {
 	}
 	j.mu.Lock()
 	j.reg = reg
+	// Resolve the hot-path counters once: Registry.Counter is a mutex + map
+	// lookup, which the per-append/per-fsync path should not repay every
+	// event. Nil-safe — a nil registry hands back nil (no-op) counters.
+	j.cAppends = reg.Counter(obs.MJournalAppendsTotal)
+	j.cBytes = reg.Counter(obs.MJournalBytesTotal)
+	j.cFsyncs = reg.Counter(obs.MJournalFsyncsTotal)
 	j.mu.Unlock()
 }
 
-func (j *Journal) append(e journalEntry) error {
+func (j *Journal) append(e journalEntry) error { return j.appendN(e, 1) }
+
+// appendN writes one record carrying events logical events (1 for v1 lines,
+// len(Entries) for a v2 batch record) with a single flush and at most one
+// fsync — the group-commit amortisation.
+func (j *Journal) appendN(e journalEntry, events int) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
@@ -172,8 +213,8 @@ func (j *Journal) append(e journalEntry) error {
 		j.err = err
 		return err
 	}
-	j.reg.Counter(obs.MJournalAppendsTotal).Inc()
-	j.reg.Counter(obs.MJournalBytesTotal).Add(int64(n))
+	j.cAppends.Add(int64(events))
+	j.cBytes.Add(int64(n))
 	if err := j.maybeSyncLocked(); err != nil {
 		j.err = err
 		return err
@@ -205,7 +246,7 @@ func (j *Journal) syncLocked() error {
 		return err
 	}
 	j.lastSync = time.Now()
-	j.reg.Counter(obs.MJournalFsyncsTotal).Inc()
+	j.cFsyncs.Inc()
 	return nil
 }
 
@@ -257,21 +298,42 @@ func (j *Journal) Rewind() error {
 	return j.syncLocked()
 }
 
-// Worker logs a worker registration.
-func (j *Journal) Worker(w model.Worker) error {
-	return j.append(journalEntry{Kind: "worker", Worker: &journalWorker{
+// workerEntry builds the journal record of a worker registration.
+func workerEntry(w model.Worker) journalEntry {
+	return journalEntry{Kind: "worker", Worker: &journalWorker{
 		X: w.Loc.X, Y: w.Loc.Y, Start: w.Start, Wait: w.Wait,
 		Velocity: w.Velocity, MaxDist: w.MaxDist, Skills: w.Skills.Skills(),
-	}})
+	}}
 }
 
-// Task logs a task registration (with its pre-closure dependency list — the
-// platform recloses on replay).
-func (j *Journal) Task(t model.Task) error {
-	return j.append(journalEntry{Kind: "task", Task: &journalTask{
+// taskEntry builds the journal record of a task registration (with its
+// closed dependency list — closure is idempotent, so the platform's reclose
+// on replay is a no-op).
+func taskEntry(t model.Task) journalEntry {
+	return journalEntry{Kind: "task", Task: &journalTask{
 		X: t.Loc.X, Y: t.Loc.Y, Start: t.Start, Wait: t.Wait,
 		Requires: t.Requires, Deps: t.Deps, Weight: t.Weight,
-	}})
+	}}
+}
+
+// Worker logs a worker registration.
+func (j *Journal) Worker(w model.Worker) error { return j.append(workerEntry(w)) }
+
+// Task logs a task registration.
+func (j *Journal) Task(t model.Task) error { return j.append(taskEntry(t)) }
+
+// Batch logs a group of registration events as one journal record with a
+// single flush and at most one fsync (group commit). A single entry stays a
+// v1 line (so the common case remains greppable one-event-per-line); two or
+// more become a v2 "batch" record that Replay applies in order.
+func (j *Journal) Batch(entries []journalEntry) error {
+	switch len(entries) {
+	case 0:
+		return nil
+	case 1:
+		return j.append(entries[0])
+	}
+	return j.appendN(journalEntry{Kind: "batch", V: journalBatchVersion, Entries: entries}, len(entries))
 }
 
 // TickAt logs a batch tick at the given logical time.
@@ -373,13 +435,12 @@ func ReplayJournal(r io.Reader, p *Platform) (ReplayReport, error) {
 			// A torn write can at worst leave a byte-complete entry missing
 			// only its newline, never valid JSON with different semantics —
 			// so apply errors are real corruption even on the last line.
-			if err := applyEntry(p, &e, line); err != nil {
+			applied, ticks, err := applyEntry(p, &e, line)
+			if err != nil {
 				return rep, err
 			}
-			rep.Entries++
-			if e.Kind == "tick" {
-				rep.Ticks++
-			}
+			rep.Entries += applied
+			rep.Ticks += ticks
 		} else if torn {
 			// Whitespace-only unterminated tail: also torn, also dropped.
 			rep.TornTail = true
@@ -392,13 +453,14 @@ func ReplayJournal(r io.Reader, p *Platform) (ReplayReport, error) {
 	}
 }
 
-// applyEntry applies one decoded journal entry; errors carry the line
-// number.
-func applyEntry(p *Platform, e *journalEntry, line int) error {
+// applyEntry applies one decoded journal entry — descending into v2 batch
+// records — and returns how many logical events (and how many ticks) it
+// applied; errors carry the line number.
+func applyEntry(p *Platform, e *journalEntry, line int) (entries, ticks int, err error) {
 	switch e.Kind {
 	case "worker":
 		if e.Worker == nil {
-			return fmt.Errorf("server: journal line %d: worker entry without payload", line)
+			return 0, 0, fmt.Errorf("server: journal line %d: worker entry without payload", line)
 		}
 		w := e.Worker
 		_, err := p.AddWorker(model.Worker{
@@ -407,11 +469,12 @@ func applyEntry(p *Platform, e *journalEntry, line int) error {
 			Skills: model.NewSkillSet(w.Skills...),
 		})
 		if err != nil {
-			return fmt.Errorf("server: journal line %d: %w", line, err)
+			return 0, 0, fmt.Errorf("server: journal line %d: %w", line, err)
 		}
+		return 1, 0, nil
 	case "task":
 		if e.Task == nil {
-			return fmt.Errorf("server: journal line %d: task entry without payload", line)
+			return 0, 0, fmt.Errorf("server: journal line %d: task entry without payload", line)
 		}
 		t := e.Task
 		_, err := p.AddTask(model.Task{
@@ -419,19 +482,42 @@ func applyEntry(p *Platform, e *journalEntry, line int) error {
 			Requires: t.Requires, Deps: t.Deps, Weight: t.Weight,
 		})
 		if err != nil {
-			return fmt.Errorf("server: journal line %d: %w", line, err)
+			return 0, 0, fmt.Errorf("server: journal line %d: %w", line, err)
 		}
+		return 1, 0, nil
 	case "tick":
 		if e.Tick == nil {
-			return fmt.Errorf("server: journal line %d: tick entry without time", line)
+			return 0, 0, fmt.Errorf("server: journal line %d: tick entry without time", line)
 		}
 		if _, err := p.Tick(*e.Tick); err != nil {
-			return fmt.Errorf("server: journal line %d: %w", line, err)
+			return 0, 0, fmt.Errorf("server: journal line %d: %w", line, err)
 		}
+		return 1, 1, nil
+	case "batch":
+		// v2 group-commit record: registrations committed together under one
+		// fsync, applied in order. Ticks never group (they are journaled by
+		// Tick itself), and batches never nest, so both are corruption here.
+		if e.V != journalBatchVersion {
+			return 0, 0, fmt.Errorf("server: journal line %d: unsupported batch record version %d (want %d)", line, e.V, journalBatchVersion)
+		}
+		if len(e.Entries) == 0 {
+			return 0, 0, fmt.Errorf("server: journal line %d: empty batch record", line)
+		}
+		for i := range e.Entries {
+			sub := &e.Entries[i]
+			if sub.Kind != "worker" && sub.Kind != "task" {
+				return entries, 0, fmt.Errorf("server: journal line %d: batch record holds %q entry", line, sub.Kind)
+			}
+			n, _, err := applyEntry(p, sub, line)
+			entries += n
+			if err != nil {
+				return entries, 0, err
+			}
+		}
+		return entries, 0, nil
 	default:
-		return fmt.Errorf("server: journal line %d: unknown kind %q", line, e.Kind)
+		return 0, 0, fmt.Errorf("server: journal line %d: unknown kind %q", line, e.Kind)
 	}
-	return nil
 }
 
 // recordRecovery folds a replay's outcome into the platform's registry.

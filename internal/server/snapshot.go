@@ -154,6 +154,8 @@ func (p *Platform) ReadSnapshot(r io.Reader) error {
 	p.batches = sf.Batches
 	p.wasted = sf.Wasted
 	p.rogue = sf.Rogue
+	p.assignVer++
+	p.publishViewLocked()
 	return nil
 }
 

@@ -1,0 +1,76 @@
+package server
+
+import "dasc/internal/model"
+
+// readView is the atomically swapped read snapshot the HTTP read endpoints
+// (/v1/stats, /v1/assignments, /v1/instance, /v1/svg) serve from instead of
+// taking the big platform mutex — a read under heavy ingest costs one atomic
+// pointer load, never a lock that a group commit (journal fsync) is holding.
+//
+// The view aliases the platform's worker/task backing arrays rather than
+// copying them. That is safe because both registries are append-only and
+// their elements are never mutated after publication (all mutable dispatch
+// state lives in Platform.wstate): a later append either writes beyond this
+// view's length or reallocates, and readers never look past v.workers/tasks'
+// own bounds. The three-index slice expressions in publishViewLocked pin the
+// capacity so the aliasing contract is explicit.
+type readView struct {
+	stats       Stats
+	assignments *model.Assignment
+	assignVer   uint64
+	workers     []model.Worker
+	tasks       []model.Task
+}
+
+// publishViewLocked swaps in a read view of the current state. Registration
+// publishes are O(1): the assignment view is rebuilt only when assignVer
+// moved (ticks, snapshot restores), otherwise the previous one — immutable
+// once published — is reused.
+func (p *Platform) publishViewLocked() {
+	prev := p.view.Load()
+	var a *model.Assignment
+	if prev != nil && prev.assignVer == p.assignVer {
+		a = prev.assignments
+	} else {
+		a = model.NewAssignment()
+		for tid, wid := range p.assigned {
+			a.Add(wid, tid)
+		}
+		a.Sort()
+	}
+	p.view.Store(&readView{
+		stats:       p.statsLocked(),
+		assignments: a,
+		assignVer:   p.assignVer,
+		workers:     p.workers[:len(p.workers):len(p.workers)],
+		tasks:       p.tasks[:len(p.tasks):len(p.tasks)],
+	})
+}
+
+// loadView returns the current read view, building one on the rare path of
+// a platform that predates the first publish.
+func (p *Platform) loadView() *readView {
+	if v := p.view.Load(); v != nil {
+		return v
+	}
+	p.publishView()
+	return p.view.Load()
+}
+
+// StatsView returns the platform counters from the read view, without
+// taking the platform mutex. Every mutation republishes the view, so this is
+// never stale relative to acknowledged operations.
+func (p *Platform) StatsView() Stats { return p.loadView().stats }
+
+// AssignmentsView returns every valid pair so far, sorted by task ID, from
+// the read view. The returned assignment is shared and MUST be treated as
+// read-only; use Assignments for a private copy.
+func (p *Platform) AssignmentsView() *model.Assignment { return p.loadView().assignments }
+
+// InstanceView returns the current worker and task registries from the read
+// view without copying. The instance aliases live platform storage and MUST
+// be treated as read-only; use Instance for a deep copy.
+func (p *Platform) InstanceView() *model.Instance {
+	v := p.loadView()
+	return &model.Instance{Workers: v.workers, Tasks: v.tasks, Dist: p.dist}
+}

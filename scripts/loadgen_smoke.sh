@@ -1,0 +1,92 @@
+#!/bin/sh
+# Black-box ingest smoke: run dasc-loadgen against a real dasc-server twice —
+# once at -fsync never (fast path) and once at -fsync always (every group
+# commit hits the disk) — with -verify-journal on both passes, so the run
+# fails unless the journal replays to exactly the state the server serves.
+# Backpressure is tolerated (429s retry inside the loadgen); lost or
+# diverged registrations are not.
+#
+# The in-process equivalents (including the failing-journal regression and
+# the race hammer) run under `go test -race ./internal/server/`; this script
+# exercises the real binary, real sockets and a real journal file.
+set -eu
+cd "$(dirname "$0")/.."
+
+clients=${LOADGEN_CLIENTS:-16}
+n=${LOADGEN_N:-400}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "building dasc-server + dasc-loadgen..."
+go build -o "$tmp/dasc-server" ./cmd/dasc-server
+go build -o "$tmp/dasc-loadgen" ./cmd/dasc-loadgen
+
+start_server() { # $1 = fsync mode, $2 = journal path
+	: >"$tmp/server.log"
+	"$tmp/dasc-server" -addr 127.0.0.1:0 -manual -fsync "$1" \
+		-journal "$2" >"$tmp/server.log" 2>&1 &
+	pid=$!
+	base=""
+	i=0
+	while [ $i -lt 200 ]; do
+		base=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$tmp/server.log" | head -1)
+		[ -n "$base" ] && break
+		i=$((i + 1))
+		sleep 0.05
+	done
+	if [ -z "$base" ]; then
+		echo "loadgen smoke: server did not start" >&2
+		cat "$tmp/server.log" >&2
+		exit 1
+	fi
+	base="http://$base"
+	i=0
+	while [ $i -lt 200 ]; do
+		if curl -fsS "$base/v1/readyz" >/dev/null 2>&1; then
+			return 0
+		fi
+		i=$((i + 1))
+		sleep 0.05
+	done
+	echo "loadgen smoke: server never became ready" >&2
+	cat "$tmp/server.log" >&2
+	exit 1
+}
+
+stop_server() {
+	kill -TERM "$pid"
+	if ! wait "$pid"; then
+		echo "loadgen smoke: server exited non-zero on SIGTERM" >&2
+		cat "$tmp/server.log" >&2
+		exit 1
+	fi
+	pid=""
+}
+
+run_pass() { # $1 = fsync mode
+	journal="$tmp/events-$1.jsonl"
+	start_server "$1" "$journal"
+	"$tmp/dasc-loadgen" -url "$base" -clients "$clients" -n "$n" \
+		-verify-journal "$journal" -out "$tmp/report-$1.json" 1>&2
+	ok=$(sed -n 's/.*"succeeded": \([0-9]*\).*/\1/p' "$tmp/report-$1.json" | head -1)
+	if [ "$ok" != "$n" ]; then
+		echo "loadgen smoke (fsync=$1): succeeded=$ok, want $n" >&2
+		cat "$tmp/report-$1.json" >&2
+		exit 1
+	fi
+	grep -q '"match": true' "$tmp/report-$1.json"
+	stop_server
+}
+
+echo "pass 1: fsync=never..."
+run_pass never
+echo "pass 2: fsync=always..."
+run_pass always
+
+echo "loadgen smoke: OK"

@@ -38,8 +38,16 @@ for gmp in 2 8; do
 		-run 'TestEngineCache(NeverMutatesReturnedIndex|IncrementalParallelDeterministic)' -count 1
 done
 
+# The group-commit ingest pipeline's concurrency tests (hammer included:
+# registrations, ticks, snapshot rotations and reads all concurrent, then a
+# replay-equivalence check), again at a starved and a wide scheduler.
+echo "== go test -race ingest pipeline (GOMAXPROCS=2, 8)"
+for gmp in 2 8; do
+	GOMAXPROCS=$gmp go test -race ./internal/server/ -run 'TestIngest' -count 1
+done
+
 echo "== bench smoke"
-BENCH_OUT=$(mktemp) sh scripts/bench.sh -quick >/dev/null
+BENCH_OUT=$(mktemp) INGEST_OUT=$(mktemp) sh scripts/bench.sh -quick >/dev/null
 echo "bench smoke: OK"
 
 # Black-box durability check: a real dasc-server process with a journal is
@@ -51,5 +59,12 @@ echo "bench smoke: OK"
 echo "== lifecycle smoke (kill-and-restart differential)"
 sh scripts/lifecycle_smoke.sh >/dev/null
 echo "lifecycle smoke: OK"
+
+# Loadgen smoke: dasc-loadgen drives a real server twice (fsync=never, then
+# fsync=always), requiring every request acknowledged and the journal replay
+# to match served state byte-for-byte after each pass.
+echo "== loadgen smoke (incl. fsync=always + journal-replay equivalence)"
+sh scripts/loadgen_smoke.sh >/dev/null
+echo "loadgen smoke: OK"
 
 echo "verify: OK"
