@@ -67,6 +67,8 @@ func main() {
 	flag.Float64Var(&cfg.DepFrac, "dep-frac", 0.3, "fraction of tasks that depend on an earlier task")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "workload generator seed")
 	flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per-request HTTP timeout")
+	flag.StringVar(&cfg.IDPrefix, "request-id-prefix", "",
+		"send X-Request-ID: <prefix>-<client>-<seq> on every registration and verify the server echoes it (empty = no correlation headers)")
 	flag.Parse()
 
 	rep, err := runLoad(cfg)
@@ -112,26 +114,34 @@ type loadConfig struct {
 	DepFrac  float64
 	Seed     int64
 	Timeout  time.Duration
+	// IDPrefix, when non-empty, sends X-Request-ID: <prefix>-<client>-<seq>
+	// on every registration and counts responses whose echoed ID does not
+	// match (Report.IDMismatches) — an end-to-end check of the server's
+	// correlation middleware under load.
+	IDPrefix string
 }
 
 // Report is the JSON document a run emits.
 type Report struct {
-	Mode        string        `json:"mode"` // "closed" or "open"
-	URL         string        `json:"url"`
-	Clients     int           `json:"clients"`
-	RateTarget  float64       `json:"rate_target,omitempty"`
-	Requests    int           `json:"requests"`
-	Succeeded   int           `json:"succeeded"`
-	Workers     int           `json:"workers"`
-	Tasks       int           `json:"tasks"`
-	Status429   int           `json:"status_429"`
-	Status503   int           `json:"status_503"`
-	StatusOther int           `json:"status_other"`
-	Retries     int           `json:"retries"`
-	DurationS   float64       `json:"duration_s"`
-	Throughput  float64       `json:"throughput_rps"` // successful registrations per second
-	Latency     LatencyStats  `json:"latency"`
-	Verify      *VerifyResult `json:"verify,omitempty"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	URL         string  `json:"url"`
+	Clients     int     `json:"clients"`
+	RateTarget  float64 `json:"rate_target,omitempty"`
+	Requests    int     `json:"requests"`
+	Succeeded   int     `json:"succeeded"`
+	Workers     int     `json:"workers"`
+	Tasks       int     `json:"tasks"`
+	Status429   int     `json:"status_429"`
+	Status503   int     `json:"status_503"`
+	StatusOther int     `json:"status_other"`
+	Retries     int     `json:"retries"`
+	// IDMismatches counts acknowledged requests whose echoed X-Request-ID
+	// differed from the one sent (only counted with -request-id-prefix).
+	IDMismatches int           `json:"id_mismatches"`
+	DurationS    float64       `json:"duration_s"`
+	Throughput   float64       `json:"throughput_rps"` // successful registrations per second
+	Latency      LatencyStats  `json:"latency"`
+	Verify       *VerifyResult `json:"verify,omitempty"`
 }
 
 // LatencyStats summarises acknowledgement latency over successful requests.
@@ -153,13 +163,14 @@ type VerifyResult struct {
 
 // clientStats is one client goroutine's tallies, merged after the run.
 type clientStats struct {
-	latencies []float64 // ms, successful requests only
-	workers   int
-	tasks     int
-	s429      int
-	s503      int
-	other     int
-	retries   int
+	latencies  []float64 // ms, successful requests only
+	workers    int
+	tasks      int
+	s429       int
+	s503       int
+	other      int
+	retries    int
+	mismatched int // echoed X-Request-ID differed from the one sent
 }
 
 // runLoad executes the configured load and summarises it.
@@ -222,6 +233,7 @@ func runLoad(cfg loadConfig) (*Report, error) {
 				tbodies[i] = taskBody(rng, 0, 0)
 			}
 			pick := 0
+			seq := 0
 			for {
 				if tokens != nil {
 					if _, ok := <-tokens; !ok {
@@ -244,7 +256,12 @@ func runLoad(cfg loadConfig) (*Report, error) {
 				} else {
 					path, body = "/v1/workers", wbodies[pick%poolSize]
 				}
-				id, ok := post(rc, path, body, st)
+				var reqID string
+				if cfg.IDPrefix != "" {
+					seq++
+					reqID = cfg.IDPrefix + "-" + strconv.Itoa(c) + "-" + strconv.Itoa(seq)
+				}
+				id, ok := post(rc, path, body, reqID, st)
 				if !ok {
 					continue
 				}
@@ -285,6 +302,7 @@ func runLoad(cfg loadConfig) (*Report, error) {
 		rep.Status503 += st.s503
 		rep.StatusOther += st.other
 		rep.Retries += st.retries
+		rep.IDMismatches += st.mismatched
 	}
 	rep.Succeeded = rep.Workers + rep.Tasks
 	rep.Requests = rep.Succeeded + rep.Status429 + rep.Status503 + rep.StatusOther
@@ -305,12 +323,12 @@ func runLoad(cfg loadConfig) (*Report, error) {
 // stolen from the system being measured (the same reason wrk and friends
 // speak hand-rolled HTTP). The {"id":n} acknowledgement is parsed with a
 // byte scan.
-func post(rc *rawClient, path string, body []byte, st *clientStats) (int, bool) {
+func post(rc *rawClient, path string, body []byte, reqID string, st *clientStats) (int, bool) {
 	const maxAttempts = 100
 	backoff := time.Millisecond
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		t0 := time.Now()
-		status, respBody, err := rc.post(path, body)
+		status, respBody, echoOK, err := rc.post(path, body, reqID)
 		if err != nil {
 			st.other++
 			return 0, false
@@ -321,6 +339,9 @@ func post(rc *rawClient, path string, body []byte, st *clientStats) (int, bool) 
 			if !ok {
 				st.other++
 				return 0, false
+			}
+			if !echoOK {
+				st.mismatched++
 			}
 			st.latencies = append(st.latencies, float64(time.Since(t0))/float64(time.Millisecond))
 			return id, true
@@ -411,32 +432,38 @@ func (c *rawClient) close() {
 }
 
 // post performs one round trip, redialing once on a stale keep-alive
-// connection. The returned body is only valid until the next call.
-func (c *rawClient) post(path string, body []byte) (int, []byte, error) {
+// connection. The returned body is only valid until the next call. reqID,
+// when non-empty, is sent as X-Request-ID; echoOK reports whether the
+// response echoed it back verbatim (always true when reqID is empty).
+func (c *rawClient) post(path string, body []byte, reqID string) (int, []byte, bool, error) {
 	for attempt := 0; ; attempt++ {
 		if c.conn == nil {
 			if err := c.dial(); err != nil {
-				return 0, nil, err
+				return 0, nil, false, err
 			}
 		}
-		status, respBody, err := c.roundTrip(path, body)
+		status, respBody, echoOK, err := c.roundTrip(path, body, reqID)
 		if err != nil {
 			c.close()
 			if attempt == 0 {
 				continue
 			}
-			return 0, nil, err
+			return 0, nil, false, err
 		}
-		return status, respBody, nil
+		return status, respBody, echoOK, nil
 	}
 }
 
-func (c *rawClient) roundTrip(path string, body []byte) (int, []byte, error) {
+func (c *rawClient) roundTrip(path string, body []byte, reqID string) (int, []byte, bool, error) {
 	b := c.reqBuf[:0]
 	b = append(b, "POST "...)
 	b = append(b, path...)
 	b = append(b, " HTTP/1.1\r\nHost: "...)
 	b = append(b, c.host...)
+	if reqID != "" {
+		b = append(b, "\r\nX-Request-ID: "...)
+		b = append(b, reqID...)
+	}
 	b = append(b, "\r\nContent-Type: application/json\r\nContent-Length: "...)
 	b = strconv.AppendInt(b, int64(len(body)), 10)
 	b = append(b, "\r\n\r\n"...)
@@ -451,27 +478,28 @@ func (c *rawClient) roundTrip(path string, body []byte) (int, []byte, error) {
 		c.conn.SetDeadline(c.deadlineAt)
 	}
 	if _, err := c.conn.Write(b); err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 
 	line, err := c.br.ReadSlice('\n')
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.1 ")) {
-		return 0, nil, fmt.Errorf("malformed status line %q", line)
+		return 0, nil, false, fmt.Errorf("malformed status line %q", line)
 	}
 	status, err := strconv.Atoi(string(line[9:12]))
 	if err != nil {
-		return 0, nil, fmt.Errorf("malformed status line %q", line)
+		return 0, nil, false, fmt.Errorf("malformed status line %q", line)
 	}
 
 	clen := -1
 	closing := false
+	echoOK := reqID == ""
 	for {
 		line, err = c.br.ReadSlice('\n')
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, false, err
 		}
 		line = bytes.TrimRight(line, "\r\n")
 		if len(line) == 0 {
@@ -482,27 +510,29 @@ func (c *rawClient) roundTrip(path string, body []byte) (int, []byte, error) {
 			switch {
 			case bytes.EqualFold(k, []byte("Content-Length")):
 				if clen, err = strconv.Atoi(string(v)); err != nil {
-					return 0, nil, fmt.Errorf("malformed Content-Length %q", v)
+					return 0, nil, false, fmt.Errorf("malformed Content-Length %q", v)
 				}
 			case bytes.EqualFold(k, []byte("Connection")):
 				closing = bytes.EqualFold(v, []byte("close"))
+			case bytes.EqualFold(k, []byte("X-Request-ID")):
+				echoOK = reqID != "" && string(v) == reqID
 			}
 		}
 	}
 	if clen < 0 {
-		return 0, nil, errors.New("response without Content-Length")
+		return 0, nil, false, errors.New("response without Content-Length")
 	}
 	if cap(c.body) < clen {
 		c.body = make([]byte, clen)
 	}
 	respBody := c.body[:clen]
 	if _, err := io.ReadFull(c.br, respBody); err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	if closing {
 		c.close()
 	}
-	return status, respBody, nil
+	return status, respBody, echoOK, nil
 }
 
 // parseID scans an acknowledgement body for `"id":<digits>`.

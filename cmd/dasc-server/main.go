@@ -31,7 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -76,8 +76,16 @@ func run() error {
 		drainTO     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain limit on SIGINT/SIGTERM")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
 		traceDepth  = flag.Int("trace-depth", 0, "per-batch traces kept for GET /v1/trace (0 = default)")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
+		accessEvery = flag.Int("access-log-every", 100, "log every Nth HTTP request with its X-Request-ID (1 = all, 0 = no access log)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	alloc, err := core.NewByName(*alg, *seed)
 	if err != nil {
@@ -92,15 +100,17 @@ func run() error {
 		snapPath = *journal + ".snap"
 	}
 	cfg := server.Config{
-		Allocator:     alloc,
-		ServiceTime:   *service,
-		TraceDepth:    *traceDepth,
-		SnapshotPath:  snapPath,
-		SnapshotEvery: *snapEvery,
-		MaxBodyBytes:  *maxBody,
-		IngestQueue:   *ingQueue,
-		IngestBatch:   *ingBatch,
-		IngestWait:    *ingWait,
+		Allocator:      alloc,
+		ServiceTime:    *service,
+		TraceDepth:     *traceDepth,
+		SnapshotPath:   snapPath,
+		SnapshotEvery:  *snapEvery,
+		MaxBodyBytes:   *maxBody,
+		IngestQueue:    *ingQueue,
+		IngestBatch:    *ingBatch,
+		IngestWait:     *ingWait,
+		Logger:         logger,
+		AccessLogEvery: *accessEvery,
 	}
 	if *journal != "" {
 		j, err := server.OpenJournalMode(*journal, mode, *fsyncEvery)
@@ -111,7 +121,7 @@ func run() error {
 		// is always flushed and closed (the old os.Exit paths skipped it).
 		defer func() {
 			if cerr := j.Close(); cerr != nil {
-				log.Printf("journal close: %v", cerr)
+				logger.Error("journal close failed", "error", cerr.Error())
 			}
 		}()
 		cfg.Journal = j
@@ -134,7 +144,7 @@ func run() error {
 	handler := server.Handler(p)
 	if *enablePprof {
 		handler = withPprof(handler)
-		log.Printf("pprof enabled at /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	srv := &http.Server{
 		Handler:      handler,
@@ -142,8 +152,10 @@ func run() error {
 		WriteTimeout: *writeTO,
 		IdleTimeout:  *idleTO,
 	}
-	log.Printf("dasc-server: %s allocator, batch interval %g, fsync=%s, listening on %s",
-		alloc.Name(), *interval, mode, ln.Addr())
+	// The address stays inside the message — scripts (and humans) find the
+	// serving endpoint by grepping the log for "listening on <addr>".
+	logger.Info(fmt.Sprintf("listening on %s", ln.Addr()),
+		"alg", alloc.Name(), "interval", *interval, "fsync", mode.String())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -153,20 +165,14 @@ func run() error {
 			shutdown(srv, *drainTO)
 			return fmt.Errorf("recover: %w", err)
 		}
-		if rep.Replay.TornTail {
-			log.Printf("recovery: truncated torn journal tail (%d bytes) — crash mid-append", rep.Replay.TornTailBytes)
-		}
-		st := p.Snapshot()
-		log.Printf("recovered in %s: snapshot=%v (%d bytes), %d journal entries (%d ticks) replayed; %d workers, %d tasks, %d assigned",
-			rep.Duration.Round(time.Millisecond), rep.SnapshotLoaded, rep.SnapshotBytes,
-			rep.Replay.Entries, rep.Replay.Ticks, st.Workers, st.Tasks, st.AssignedTasks)
+		server.LogRecovery(logger, rep, p.Snapshot())
 	}
 	p.SetReady(true)
 
 	tickerStop := make(chan struct{})
 	defer close(tickerStop)
 	if !*manual {
-		go runTicker(p, *interval, *timescale, tickerStop)
+		go runTicker(p, logger, *interval, *timescale, tickerStop)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -176,14 +182,38 @@ func run() error {
 		return err
 	case <-ctx.Done():
 		stop()
-		log.Printf("signal received; draining (limit %s)", *drainTO)
-		if err := shutdown(srv, *drainTO); err != nil {
-			log.Printf("shutdown: %v", err)
-		}
+		drained := server.LogShutdown(logger, *drainTO)
+		err := shutdown(srv, *drainTO)
 		<-serveErr // Serve has returned ErrServerClosed
-		log.Printf("dasc-server: stopped cleanly")
+		drained(err)
 		return nil
 	}
+}
+
+// buildLogger constructs the process logger from the -log-level/-log-format
+// flags; events go to stderr.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }
 
 // listen opens the serving socket: "unix:/path" binds a Unix-domain socket
@@ -228,7 +258,7 @@ func withPprof(api http.Handler) http.Handler {
 
 // runTicker advances logical time at the configured rate, running one batch
 // per interval, until stop closes.
-func runTicker(p *server.Platform, interval, timescale float64, stop <-chan struct{}) {
+func runTicker(p *server.Platform, logger *slog.Logger, interval, timescale float64, stop <-chan struct{}) {
 	if timescale <= 0 {
 		timescale = 1
 	}
@@ -244,20 +274,21 @@ func runTicker(p *server.Platform, interval, timescale float64, stop <-chan stru
 		case <-stop:
 			return
 		case <-t.C:
-			tickOnce(p, time.Since(start).Seconds()*timescale)
+			tickOnce(p, logger, time.Since(start).Seconds()*timescale)
 		}
 	}
 }
 
 // tickOnce runs one batch at logical time now and logs non-empty outcomes.
-func tickOnce(p *server.Platform, now float64) {
+func tickOnce(p *server.Platform, logger *slog.Logger, now float64) {
 	out, err := p.Tick(now)
 	if err != nil {
-		log.Printf("tick at %.1f failed: %v", now, err)
+		logger.Error("tick failed", "t", now, "error", err.Error())
 		return
 	}
 	if len(out.Assigned) > 0 || out.Wasted > 0 {
-		log.Printf("batch %d at t=%.1f: %d workers, %d tasks, %d assigned, %d wasted",
-			out.Batch, out.Time, out.Workers, out.Tasks, len(out.Assigned), out.Wasted)
+		logger.Info("batch complete",
+			"batch", out.Batch, "t", out.Time, "workers", out.Workers,
+			"tasks", out.Tasks, "assigned", len(out.Assigned), "wasted", out.Wasted)
 	}
 }

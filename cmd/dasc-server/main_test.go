@@ -1,6 +1,7 @@
 package main
 
 import (
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -10,6 +11,31 @@ import (
 	"dasc/internal/model"
 	"dasc/internal/server"
 )
+
+// testWriter routes slog output through t.Log so it shows up only when the
+// test fails or runs verbose.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}
+
+func TestBuildLogger(t *testing.T) {
+	for _, lv := range []string{"debug", "info", "warn", "error"} {
+		for _, f := range []string{"text", "json"} {
+			if _, err := buildLogger(lv, f); err != nil {
+				t.Errorf("buildLogger(%q, %q): %v", lv, f, err)
+			}
+		}
+	}
+	if _, err := buildLogger("trace", "text"); err == nil {
+		t.Error("buildLogger accepted bogus level")
+	}
+	if _, err := buildLogger("info", "logfmt"); err == nil {
+		t.Error("buildLogger accepted bogus format")
+	}
+}
 
 func TestTickOnceAssignsAndLogsWithoutPanicking(t *testing.T) {
 	p, err := server.NewPlatform(server.Config{Allocator: core.NewGreedy()})
@@ -27,12 +53,13 @@ func TestTickOnceAssignsAndLogsWithoutPanicking(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	tickOnce(p, 0)
+	logger := slog.New(slog.NewTextHandler(testWriter{t}, nil))
+	tickOnce(p, logger, 0)
 	if st := p.Snapshot(); st.AssignedTasks != 3 {
 		t.Errorf("assigned = %d, want 3", st.AssignedTasks)
 	}
 	// A tick that goes backwards logs the error instead of panicking.
-	tickOnce(p, -1)
+	tickOnce(p, logger, -1)
 	if st := p.Snapshot(); st.Batches != 1 {
 		t.Errorf("backward tick counted: %+v", st)
 	}
@@ -47,7 +74,7 @@ func TestRunTickerStopsOnClose(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		// Tiny interval so the loop is demonstrably live before stopping.
-		runTicker(p, 0.001, 1000, stop)
+		runTicker(p, slog.New(slog.NewTextHandler(testWriter{t}, nil)), 0.001, 1000, stop)
 		close(done)
 	}()
 	deadline := time.After(5 * time.Second)

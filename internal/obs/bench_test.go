@@ -38,4 +38,16 @@ func BenchmarkObsOverhead(b *testing.B) {
 			c.Add(1)
 		}
 	})
+	b.Run("disabled-histogram", func(b *testing.B) {
+		var h *Histogram
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.003)
+		}
+	})
+	b.Run("enabled-histogram", func(b *testing.B) {
+		h := NewRegistry().Histogram("bench_seconds")
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.003)
+		}
+	})
 }

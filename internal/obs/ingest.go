@@ -29,16 +29,40 @@ type DrainTrace struct {
 	// publish); JournalMS is the journal append + fsync alone.
 	CommitMS  float64 `json:"commit_ms"`
 	JournalMS float64 `json:"journal_ms"`
+	// RequestIDs are the X-Request-IDs of the registrations this drain
+	// committed (requests without an ID are skipped), in commit order and
+	// capped at DrainTraceIDCap entries — when truncated, the slice keeps the
+	// first DrainTraceIDCap-1 plus the last, and RequestIDCount carries the
+	// true total. This is the request→drain correlation hop: a client that
+	// tagged its registration can find the exact group commit that made it
+	// durable via GET /v1/ingest.
+	RequestIDs     []string `json:"request_ids,omitempty"`
+	RequestIDCount int      `json:"request_id_count,omitempty"`
 }
 
-// Ingest histogram ranges: drains batch up to a few thousand entries, and a
-// commit is a journal append + fsync — microseconds to low milliseconds, with
-// headroom for a stalled disk.
+// DrainTraceIDCap bounds how many request IDs one DrainTrace retains; drains
+// can batch thousands of registrations and the trace ring would otherwise
+// pin every ID string of recent history.
+const DrainTraceIDCap = 64
+
+// CapRequestIDs truncates ids to DrainTraceIDCap, keeping the first
+// DrainTraceIDCap-1 and the last so both ends of the drain stay visible.
+func CapRequestIDs(ids []string) []string {
+	if len(ids) <= DrainTraceIDCap {
+		return ids
+	}
+	capped := make([]string, DrainTraceIDCap)
+	copy(capped, ids[:DrainTraceIDCap-1])
+	capped[DrainTraceIDCap-1] = ids[len(ids)-1]
+	return capped
+}
+
+// Drain-size distribution range: drains batch up to a few thousand entries,
+// uniformly bucketed (a size distribution, not a latency — the linear Timer
+// is the right kind). Commit/journal latencies use the log-scale Histogram.
 const (
-	ingestBatchHi       = 4096
-	ingestBatchBuckets  = 512
-	ingestCommitHi      = 2.0
-	ingestCommitBuckets = 2000
+	ingestBatchHi      = 4096
+	ingestBatchBuckets = 512
 )
 
 // RecordDrain folds one ingest drain trace into the registry under the
@@ -52,8 +76,8 @@ func RecordDrain(r *Registry, t DrainTrace) {
 	r.Counter(MIngestFailedTotal).Add(int64(t.Failed))
 	r.Gauge(MIngestQueueDepth).Set(float64(t.QueueDepth))
 	r.TimerRange(TIngestBatchEntries, 0, ingestBatchHi, ingestBatchBuckets).Observe(float64(t.Requests))
-	r.TimerRange(TIngestCommitSeconds, 0, ingestCommitHi, ingestCommitBuckets).Observe(t.CommitMS / 1e3)
-	r.TimerRange(TIngestJournalSeconds, 0, ingestCommitHi, ingestCommitBuckets).Observe(t.JournalMS / 1e3)
+	r.Histogram(TIngestCommitSeconds).Observe(t.CommitMS / 1e3)
+	r.Histogram(TIngestJournalSeconds).Observe(t.JournalMS / 1e3)
 }
 
 // DrainRing is a fixed-capacity ring buffer of the most recent ingest

@@ -69,20 +69,36 @@ const (
 	MCandExaminedTotal = "dasc_candidates_examined_total"
 	MCandAdmittedTotal = "dasc_candidates_admitted_total"
 
-	// Phase timers (seconds).
+	// Phase latency histograms (seconds, log-scale buckets). These were
+	// uniform-bucket Timers through PR 7; sub-10ms phases collapsed into one
+	// bucket and reported p50 == p99, so latency paths now use the
+	// exponential-bucket Histogram (histogram.go).
 	TPhaseIndex    = "dasc_phase_index_seconds"
 	TPhaseAlloc    = "dasc_phase_alloc_seconds"
 	TPhaseDispatch = "dasc_phase_dispatch_seconds"
-)
 
-// Phase timer range: batch phases run microseconds to tens of milliseconds,
-// so the default [0,10]s histogram (10ms buckets) would put every
-// observation in the first bucket and report useless quantiles. 2000
-// buckets over [0,2]s give 1ms resolution with headroom for a pathological
-// allocator; slower phases clamp into the top bucket but keep an exact sum.
-const (
-	phaseTimerHi      = 2.0
-	phaseTimerBuckets = 2000
+	// HTTP middleware (server): every API route is wrapped with per-route
+	// telemetry (middleware.go). Requests are counted by status class
+	// (labels: route, code="2xx".."5xx"/"other"), request/response bodies by
+	// bytes (label: route), and acknowledgement latency lands in a log-scale
+	// histogram (label: route). Registry names carry the label block via
+	// obs.Labeled.
+	MHTTPRequestsTotal      = "dasc_http_requests_total"
+	MHTTPRequestBytesTotal  = "dasc_http_request_bytes_total"
+	MHTTPResponseBytesTotal = "dasc_http_response_bytes_total"
+	THTTPRequestSeconds     = "dasc_http_request_seconds"
+
+	// Runtime collector (runtime.go): process-level gauges sampled at scrape
+	// time by a registry scrape hook — goroutines, heap, GC and uptime.
+	// dasc_runtime_gc_cycles_total is a true counter (delta-fed from
+	// runtime.MemStats.NumGC); gc_pause_seconds is cumulative but exposed as
+	// a gauge because Counter is integral.
+	MRuntimeGoroutines     = "dasc_runtime_goroutines"
+	MRuntimeHeapAllocBytes = "dasc_runtime_heap_alloc_bytes"
+	MRuntimeHeapSysBytes   = "dasc_runtime_heap_sys_bytes"
+	MRuntimeGCCyclesTotal  = "dasc_runtime_gc_cycles_total"
+	MRuntimeGCPauseSeconds = "dasc_runtime_gc_pause_seconds"
+	MRuntimeUptimeSeconds  = "dasc_runtime_uptime_seconds"
 )
 
 // RecordBatch folds one batch trace into the registry under the standard
@@ -119,7 +135,7 @@ func RecordBatch(r *Registry, t BatchTrace) {
 	r.Counter(MCandExaminedTotal).Add(t.CandidatesExamined)
 	r.Counter(MCandAdmittedTotal).Add(t.CandidatesAdmitted)
 
-	r.TimerRange(TPhaseIndex, 0, phaseTimerHi, phaseTimerBuckets).Observe(t.IndexBuildMS / 1e3)
-	r.TimerRange(TPhaseAlloc, 0, phaseTimerHi, phaseTimerBuckets).Observe(t.AllocMS / 1e3)
-	r.TimerRange(TPhaseDispatch, 0, phaseTimerHi, phaseTimerBuckets).Observe(t.DispatchMS / 1e3)
+	r.Histogram(TPhaseIndex).Observe(t.IndexBuildMS / 1e3)
+	r.Histogram(TPhaseAlloc).Observe(t.AllocMS / 1e3)
+	r.Histogram(TPhaseDispatch).Observe(t.DispatchMS / 1e3)
 }

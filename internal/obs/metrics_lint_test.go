@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// moduleSource yields every non-test .go file in the module, parsed.
+func moduleSource(t *testing.T) map[string]*ast.File {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	files := map[string]*ast.File{}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		rel, _ := filepath.Rel(root, path)
+		files[rel] = f
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// metricsInventory parses metrics.go and returns const name → metric name for
+// every string constant declared there.
+func metricsInventory(t *testing.T, files map[string]*ast.File) map[string]string {
+	t.Helper()
+	f, ok := files[filepath.Join("internal", "obs", "metrics.go")]
+	if !ok {
+		t.Fatal("internal/obs/metrics.go not found in module source")
+	}
+	inv := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					v, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						t.Fatalf("const %s: %v", name.Name, err)
+					}
+					inv[name.Name] = v
+				}
+			}
+		}
+	}
+	if len(inv) == 0 {
+		t.Fatal("no string constants found in metrics.go")
+	}
+	return inv
+}
+
+// TestMetricsInventoryConstsAreUsed: every metric name declared in metrics.go
+// must be referenced from non-test code somewhere in the module — a const
+// nobody folds into is a stale inventory entry (or a metric that silently
+// stopped being recorded).
+func TestMetricsInventoryConstsAreUsed(t *testing.T) {
+	files := moduleSource(t)
+	inv := metricsInventory(t, files)
+	used := map[string]bool{}
+	mark := func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if _, declared := inv[id.Name]; declared {
+				used[id.Name] = true
+			}
+		}
+		return true
+	}
+	for path, f := range files {
+		if path == filepath.Join("internal", "obs", "metrics.go") {
+			// Function bodies in metrics.go (RecordBatch etc.) count as
+			// usage; the const declarations themselves do not.
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					ast.Inspect(fd, mark)
+				}
+			}
+			continue
+		}
+		ast.Inspect(f, mark)
+	}
+	for name := range inv {
+		if !used[name] {
+			t.Errorf("metrics.go const %s (%q) is referenced by no non-test code", name, inv[name])
+		}
+	}
+}
+
+// TestNoStrayMetricNameLiterals: non-test code outside metrics.go must not
+// spell a dasc_* metric name as a string literal — call sites go through the
+// inventory consts, so renames stay one-file changes and the exposition can't
+// drift from the documented name set.
+func TestNoStrayMetricNameLiterals(t *testing.T) {
+	files := moduleSource(t)
+	inv := metricsInventory(t, files)
+	known := map[string]bool{}
+	for _, v := range inv {
+		known[v] = true
+	}
+	for path, f := range files {
+		if path == filepath.Join("internal", "obs", "metrics.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			v, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(v, "dasc_") {
+				return true
+			}
+			if !known[v] {
+				t.Errorf("%s: literal %q is not in the metrics.go inventory — add the const and reference it", path, v)
+			} else {
+				t.Errorf("%s: metric name %q spelled as a literal — use the metrics.go const", path, v)
+			}
+			return true
+		})
+	}
+}

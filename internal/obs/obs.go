@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,8 +76,11 @@ func (g *Gauge) Value() float64 {
 
 // Timer aggregates durations (in seconds) into a stats.Histogram plus an
 // exact count and sum. Unlike Counter and Gauge it takes a mutex per
-// observation, so it belongs on per-batch/per-request paths, not per-pair
-// ones.
+// observation, and its buckets are UNIFORM over the configured range — fine
+// for coarse size distributions (ingest drain sizes), useless for latency:
+// uniform 10ms buckets collapse every sub-10ms observation into bucket zero
+// and report p50 == p99. Latency paths use the log-scale Histogram instead
+// (histogram.go); Timer stays for coarse linear distributions.
 type Timer struct {
 	mu      sync.Mutex
 	lo, hi  float64
@@ -153,6 +157,11 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
+	// hooks run at the start of every Snapshot (and so every exposition),
+	// outside the registry lock — scrape-time collectors (runtime.go) sample
+	// the world only when someone is actually looking.
+	hooks []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -161,7 +170,75 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
+		hists:    make(map[string]*Histogram),
 	}
+}
+
+// Labeled builds a registry name carrying Prometheus labels:
+// Labeled("dasc_http_requests_total", "route", "POST /v1/workers") →
+// `dasc_http_requests_total{route="POST /v1/workers"}`. The text exposition
+// splits such names back into family + labels, so one TYPE line covers every
+// label combination of a family. kv pairs must come in key, value order.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteByte('=')
+		sb.WriteString(quoteLabelValue(kv[i+1]))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// quoteLabelValue escapes a label value per the Prometheus text format:
+// backslash, double-quote and newline are escaped inside double quotes.
+func quoteLabelValue(v string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// splitName separates a registry name into its metric family and the label
+// block (without braces); labels is empty for plain names.
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// joinLabels merges a name's label block with one extra label (used for the
+// `le` and `quantile` labels of histogram/summary exposition).
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	if extra == "" {
+		return labels
+	}
+	return labels + "," + extra
 }
 
 // Counter returns the named counter, creating it on first use. A nil
@@ -218,22 +295,70 @@ func (r *Registry) TimerRange(name string, lo, hi float64, buckets int) *Timer {
 	return t
 }
 
-// Snapshot is a point-in-time copy of every registered metric.
-type Snapshot struct {
-	Counters map[string]int64      `json:"counters"`
-	Gauges   map[string]float64    `json:"gauges"`
-	Timers   map[string]TimerStats `json:"timers"`
+// Histogram returns the named log-scale histogram, creating it on first use
+// with the DefaultLatencyBounds (100µs–10s exponential buckets). A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBounds(name, nil)
 }
 
-// Snapshot copies out every metric. The empty Snapshot on a nil registry.
+// HistogramBounds is Histogram with explicit ascending bucket bounds (nil
+// means DefaultLatencyBounds); the bounds of an already-created histogram are
+// not changed.
+func (r *Registry) HistogramBounds(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBounds()
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AddScrapeHook registers f to run at the start of every Snapshot (and so of
+// every text/JSON exposition), outside the registry lock — f may freely set
+// gauges and counters on the registry. No-op on a nil registry.
+func (r *Registry) AddScrapeHook(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every registered metric.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Timers     map[string]TimerStats     `json:"timers"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot copies out every metric, after running the registered scrape
+// hooks. The empty Snapshot on a nil registry.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]float64{},
-		Timers:   map[string]TimerStats{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
 	}
 	if r == nil {
 		return s
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
 	}
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
@@ -248,6 +373,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.timers {
 		timers[k] = v
 	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
 	r.mu.Unlock()
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
@@ -257,6 +386,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range timers {
 		s.Timers[k] = v.Stats()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Stats()
 	}
 	return s
 }
@@ -278,49 +410,119 @@ func (r *Registry) Reset() {
 	for _, t := range r.timers {
 		t.reset()
 	}
+	for _, h := range r.hists {
+		h.reset()
+	}
 }
 
-// WriteText writes the registry in Prometheus text exposition style:
-// counters and gauges as single samples, timers as summaries (count, sum and
-// quantile samples). Output is sorted by name, so it is diff- and
-// test-friendly.
+// promFamily accumulates one metric family's text exposition: the TYPE line
+// plus every sample, across all label combinations sharing the family name.
+type promFamily struct {
+	typ   string
+	lines []string
+}
+
+// addSample appends one formatted sample line to name's family, creating the
+// family (with its TYPE) on first use.
+func addSample(fams map[string]*promFamily, order *[]string, family, typ, line string) {
+	f, ok := fams[family]
+	if !ok {
+		f = &promFamily{typ: typ}
+		fams[family] = f
+		*order = append(*order, family)
+	}
+	f.lines = append(f.lines, line)
+}
+
+// sampleName renders family{labels,extra} — or the bare family when both
+// label blocks are empty.
+func sampleName(family, labels, extra string) string {
+	l := joinLabels(labels, extra)
+	if l == "" {
+		return family
+	}
+	return family + "{" + l + "}"
+}
+
+// WriteText writes the registry in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, timers as typed
+// summary blocks with quantile labels, histograms as typed histogram blocks
+// with cumulative le-labeled buckets plus _sum and _count. Registry names may
+// carry label blocks (see Labeled); all label combinations of a family share
+// one `# TYPE` line, as the format requires. Families are sorted by name and
+// samples within a family by registry name, so output is diff- and
+// test-friendly (obs.ValidateExposition round-trips it).
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
-	names := make([]string, 0, len(s.Counters))
-	for name := range s.Counters {
-		names = append(names, name)
+	fams := make(map[string]*promFamily)
+	var order []string
+
+	for _, name := range sortedKeys(s.Counters) {
+		family, labels := splitName(name)
+		addSample(fams, &order, family, "counter",
+			fmt.Sprintf("%s %d", sampleName(family, labels, ""), s.Counters[name]))
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
-			return err
-		}
+	for _, name := range sortedKeys(s.Gauges) {
+		family, labels := splitName(name)
+		addSample(fams, &order, family, "gauge",
+			fmt.Sprintf("%s %g", sampleName(family, labels, ""), s.Gauges[name]))
 	}
-	names = names[:0]
-	for name := range s.Gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name]); err != nil {
-			return err
-		}
-	}
-	names = names[:0]
-	for name := range s.Timers {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range sortedKeys(s.Timers) {
+		family, labels := splitName(name)
 		ts := s.Timers[name]
-		_, err := fmt.Fprintf(w,
-			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
-			name, name, ts.P50, name, ts.P95, name, ts.P99, name, ts.Sum, name, ts.Count)
-		if err != nil {
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{`quantile="0.5"`, ts.P50}, {`quantile="0.95"`, ts.P95}, {`quantile="0.99"`, ts.P99}} {
+			addSample(fams, &order, family, "summary",
+				fmt.Sprintf("%s %g", sampleName(family, labels, q.label), q.v))
+		}
+		addSample(fams, &order, family, "summary",
+			fmt.Sprintf("%s %g", sampleName(family+"_sum", labels, ""), ts.Sum))
+		addSample(fams, &order, family, "summary",
+			fmt.Sprintf("%s %d", sampleName(family+"_count", labels, ""), ts.Count))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		family, labels := splitName(name)
+		hs := s.Histograms[name]
+		if hs.Buckets == nil {
+			// Empty histogram: expose a single all-zero +Inf bucket so the
+			// family stays present (and parseable) before the first sample.
+			hs.Buckets = []BucketCount{{LE: "+Inf"}}
+		}
+		for _, b := range hs.Buckets {
+			addSample(fams, &order, family, "histogram",
+				fmt.Sprintf("%s %d", sampleName(family+"_bucket", labels, `le=`+quoteLabelValue(b.LE)), b.Count))
+		}
+		addSample(fams, &order, family, "histogram",
+			fmt.Sprintf("%s %g", sampleName(family+"_sum", labels, ""), hs.Sum))
+		addSample(fams, &order, family, "histogram",
+			fmt.Sprintf("%s %d", sampleName(family+"_count", labels, ""), hs.Count))
+	}
+
+	sort.Strings(order)
+	for _, family := range order {
+		f := fams[family]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, f.typ); err != nil {
 			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // WriteJSON writes the snapshot as JSON.

@@ -26,14 +26,20 @@ func TestCounterGaugeTimerNilSafety(t *testing.T) {
 	if tm.Stats() != (TimerStats{}) {
 		t.Error("nil timer has stats")
 	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Stats().Count != 0 {
+		t.Error("nil histogram has stats")
+	}
 	var r *Registry
-	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Timer("x") != nil {
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Timer("x") != nil || r.Histogram("x") != nil {
 		t.Error("nil registry returned live metrics")
 	}
 	r.Reset()
 	RecordBatch(r, BatchTrace{Assigned: 1})
 	s := r.Snapshot()
-	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Timers) != 0 {
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Timers) != 0 || len(s.Histograms) != 0 {
 		t.Errorf("nil registry snapshot = %+v", s)
 	}
 }
@@ -228,7 +234,7 @@ func TestRecordBatchFoldsStandardNames(t *testing.T) {
 	if s.Gauges[MBatchWorkersGauge] != 5 || s.Gauges[MBatchTasksGauge] != 9 {
 		t.Errorf("gauges = %v", s.Gauges)
 	}
-	if s.Timers[TPhaseAlloc].Count != 2 || s.Timers[TPhaseAlloc].Sum != 0.005 {
-		t.Errorf("alloc timer = %+v", s.Timers[TPhaseAlloc])
+	if s.Histograms[TPhaseAlloc].Count != 2 || s.Histograms[TPhaseAlloc].Sum != 0.005 {
+		t.Errorf("alloc histogram = %+v", s.Histograms[TPhaseAlloc])
 	}
 }

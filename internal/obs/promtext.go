@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a minimal parser for the Prometheus text exposition format
+// (version 0.0.4) — just enough of the grammar to round-trip what WriteText
+// emits and fail loudly on malformed output. The conformance test feeds the
+// full /v1/metrics body through ValidateExposition, so any exposition
+// regression (missing TYPE line, bad label escaping, non-cumulative buckets,
+// a histogram whose +Inf bucket disagrees with _count) breaks a test instead
+// of breaking the user's scraper.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromExposition is the parsed form of a text exposition: the declared TYPE
+// per family and every sample in order.
+type PromExposition struct {
+	Types   map[string]string
+	Samples []PromSample
+}
+
+// ValidateExposition parses a Prometheus 0.0.4 text exposition and checks the
+// structural invariants scrapers rely on: valid metric and label names, one
+// TYPE line per family declared before its samples, summary samples limited to
+// the family name (with optional quantile label) plus _sum/_count, histogram
+// samples limited to _bucket (with a mandatory le label) plus _sum/_count,
+// cumulative non-decreasing buckets, and a +Inf bucket equal to _count.
+func ValidateExposition(text string) (*PromExposition, error) {
+	exp := &PromExposition{Types: map[string]string{}}
+	// Per-series bucket bookkeeping for the cumulative / +Inf checks: one
+	// histogram family fans out into one series per label set (e.g. per
+	// route), each with its own cumulative bucket sequence and _count.
+	type histState struct {
+		lastCum  float64
+		infCount float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+	}
+	hists := map[string]*histState{}
+
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE line", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := exp.Types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE line for %q", lineNo, name)
+				}
+				exp.Types[name] = typ
+			}
+			continue // HELP and other comments pass through
+		}
+
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+
+		family, suffix := sampleFamily(s.Name, exp.Types)
+		if family == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, s.Name)
+		}
+		switch exp.Types[family] {
+		case "summary":
+			switch suffix {
+			case "", "_sum", "_count":
+			default:
+				return nil, fmt.Errorf("line %d: sample %q not valid for summary %q", lineNo, s.Name, family)
+			}
+			if suffix != "" && s.Labels["quantile"] != "" {
+				return nil, fmt.Errorf("line %d: quantile label on %q", lineNo, s.Name)
+			}
+		case "histogram":
+			key := family + histSeriesKey(s.Labels)
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			switch suffix {
+			case "_bucket":
+				le, ok := s.Labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket %q missing le label", lineNo, s.Name)
+				}
+				if s.Value < h.lastCum {
+					return nil, fmt.Errorf("line %d: histogram %q buckets not cumulative (le=%q: %g < %g)",
+						lineNo, family, le, s.Value, h.lastCum)
+				}
+				h.lastCum = s.Value
+				if le == "+Inf" {
+					h.hasInf, h.infCount = true, s.Value
+				}
+			case "_sum":
+			case "_count":
+				h.hasCount, h.count = true, s.Value
+			default:
+				return nil, fmt.Errorf("line %d: sample %q not valid for histogram %q", lineNo, s.Name, family)
+			}
+		default: // counter, gauge, untyped: the sample name must be the family
+			if suffix != "" {
+				return nil, fmt.Errorf("line %d: sample %q not valid for %s %q",
+					lineNo, s.Name, exp.Types[family], family)
+			}
+		}
+	}
+
+	for series, h := range hists {
+		if !h.hasInf {
+			return nil, fmt.Errorf("histogram series %q has no +Inf bucket", series)
+		}
+		if h.hasCount && h.infCount != h.count {
+			return nil, fmt.Errorf("histogram series %q: +Inf bucket %g != _count %g", series, h.infCount, h.count)
+		}
+	}
+	return exp, nil
+}
+
+// histSeriesKey serializes a sample's labels minus `le` into a deterministic
+// key, so bucket invariants are checked per series, not across a family's
+// unrelated label sets.
+func histSeriesKey(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	if len(parts) == 0 {
+		// A bucket whose only label is `le` and an unlabeled _sum/_count
+		// belong to the same bare series.
+		return ""
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// sampleFamily resolves a sample name to its declared family: the name itself,
+// or the name minus a _sum/_count/_bucket suffix. Returns the family and the
+// suffix ("" when the sample name is the family).
+func sampleFamily(name string, types map[string]string) (family, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := types[base]; declared {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// parseSampleLine parses `name[{labels}] value` (timestamps are not emitted by
+// WriteText and are rejected here).
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("expected single value in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a {…} block: comma-separated
+// name="value" pairs with \\, \" and \n escapes in values.
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	i := 0
+	for i < len(body) {
+		start := i
+		for i < len(body) && isNameChar(body[i], i == start) && body[i] != ':' {
+			i++
+		}
+		name := body[start:i]
+		if name == "" {
+			return nil, fmt.Errorf("empty label name in %q", body)
+		}
+		if i >= len(body) || body[i] != '=' {
+			return nil, fmt.Errorf("expected '=' after label %q", name)
+		}
+		i++
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("expected quoted value for label %q", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("unterminated value for label %q", name)
+			}
+			c := body[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(body) {
+					return nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch body[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", body[i], name)
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels in %q", body)
+			}
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i == 0) && name[i] != ':' {
+			return false
+		}
+	}
+	return true
+}
+
+// isNameChar reports whether c is valid in a metric/label name at the given
+// position (digits are not allowed first). ':' is handled by callers — valid
+// in metric names, not in label names.
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeCollector samples process-level runtime stats into a Registry. It is
+// wired in as a scrape hook, so the gauges are refreshed lazily at snapshot
+// time rather than by a background poller — a server that nobody scrapes pays
+// nothing, and every scrape sees stats no older than itself.
+type runtimeCollector struct {
+	mu    sync.Mutex
+	start time.Time
+	// lastGC feeds the dasc_runtime_gc_cycles_total counter: MemStats.NumGC is
+	// cumulative-since-process-start, Counter.Add wants deltas.
+	lastGC uint32
+}
+
+// RegisterRuntimeMetrics installs a scrape hook on the registry exposing the
+// dasc_runtime_* family: goroutine count, heap alloc/sys bytes, GC cycle and
+// pause totals, and process uptime. No-op on a nil registry. Call once per
+// registry; a second call would double-count GC cycles.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	c := &runtimeCollector{start: time.Now()}
+	r.AddScrapeHook(func() { c.collect(r) })
+}
+
+func (c *runtimeCollector) collect(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	c.mu.Lock()
+	delta := int64(ms.NumGC - c.lastGC)
+	c.lastGC = ms.NumGC
+	uptime := time.Since(c.start).Seconds()
+	c.mu.Unlock()
+
+	r.Gauge(MRuntimeGoroutines).Set(float64(runtime.NumGoroutine()))
+	r.Gauge(MRuntimeHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	r.Gauge(MRuntimeHeapSysBytes).Set(float64(ms.HeapSys))
+	if delta > 0 {
+		r.Counter(MRuntimeGCCyclesTotal).Add(delta)
+	} else {
+		// Touch the counter so the series exists before the first GC cycle.
+		r.Counter(MRuntimeGCCyclesTotal).Add(0)
+	}
+	r.Gauge(MRuntimeGCPauseSeconds).Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge(MRuntimeUptimeSeconds).Set(uptime)
+}

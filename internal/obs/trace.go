@@ -56,6 +56,11 @@ type BatchTrace struct {
 	Assigned int `json:"assigned"` // valid pairs
 	Deferred int `json:"deferred"` // pairs dropped by the dependency fixpoint
 	Rogue    int `json:"rogue"`    // pairs naming a worker outside the batch
+
+	// RequestID is the X-Request-ID of the HTTP request that triggered this
+	// batch (POST /v1/tick); empty for ticker- or simulator-driven batches.
+	// The tick→trace correlation hop: grep /v1/trace for the ID a client saw.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // CacheHitRatio returns memo hits over total memo lookups, 0 when there were
@@ -207,6 +212,14 @@ func (r *BatchRec) CacheFullRebuild() {
 		return
 	}
 	r.fullRebuild.Store(true)
+}
+
+// SetRequestID records the request ID of the HTTP request driving the batch.
+func (r *BatchRec) SetRequestID(id string) {
+	if r == nil {
+		return
+	}
+	r.trace.RequestID = id
 }
 
 // SetPopulation records the batch's active workers and pending tasks.

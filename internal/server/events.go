@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// This file is the server's structured-logging surface: a nil-safe default
+// logger and the lifecycle event helpers. The helpers exist so the event
+// shapes are functions, not format strings scattered through main — the
+// golden tests (events_test.go) pin the exact text and JSON renderings of
+// the events operators grep for.
+
+// discardHandler drops every record. slog.DiscardHandler only exists from Go
+// 1.24 and this module declares go 1.22, so the platform carries its own:
+// Enabled reports false, so disabled logging costs one interface call per
+// event — no attribute formatting, no allocation.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// discardLogger is the logger platforms use when Config.Logger is nil:
+// embedders that never think about logging get silence, not nil panics.
+func discardLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// orDiscard returns l, or the discard logger when l is nil.
+func orDiscard(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return discardLogger()
+	}
+	return l
+}
+
+// LogRecovery emits the startup recovery report: what the snapshot restored,
+// what the journal tail replayed, and the resulting platform population.
+func LogRecovery(log *slog.Logger, rep RecoveryReport, st Stats) {
+	if log == nil {
+		return
+	}
+	log.LogAttrs(context.Background(), slog.LevelInfo, "recovery complete",
+		slog.Duration("elapsed", rep.Duration),
+		slog.Bool("snapshot_loaded", rep.SnapshotLoaded),
+		slog.Int64("snapshot_bytes", rep.SnapshotBytes),
+		slog.Int("entries_replayed", rep.Replay.Entries),
+		slog.Int("ticks_replayed", rep.Replay.Ticks),
+		slog.Int("workers", st.Workers),
+		slog.Int("tasks", st.Tasks),
+		slog.Int("assigned", st.AssignedTasks),
+	)
+	if rep.Replay.TornTail {
+		log.LogAttrs(context.Background(), slog.LevelWarn, "truncated torn journal tail",
+			slog.Int("bytes", rep.Replay.TornTailBytes),
+		)
+	}
+}
+
+// LogShutdown emits the graceful-shutdown event pair: the drain start (with
+// its limit) and, via the returned func, the completion with the drain's
+// actual duration and error, if any.
+func LogShutdown(log *slog.Logger, limit time.Duration) func(error) {
+	if log == nil {
+		return func(error) {}
+	}
+	log.LogAttrs(context.Background(), slog.LevelInfo, "signal received; draining",
+		slog.Duration("limit", limit),
+	)
+	start := time.Now()
+	return func(err error) {
+		if err != nil {
+			log.LogAttrs(context.Background(), slog.LevelError, "shutdown drain failed",
+				slog.Duration("elapsed", time.Since(start)),
+				slog.String("error", err.Error()),
+			)
+			return
+		}
+		log.LogAttrs(context.Background(), slog.LevelInfo, "stopped cleanly",
+			slog.Duration("elapsed", time.Since(start)),
+		)
+	}
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+// goldenLogger renders deterministically: the record timestamp is dropped and
+// every duration attr is pinned, so the assertions below are exact golden
+// strings for the lines operators grep for.
+func goldenLogger(buf *bytes.Buffer, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			switch {
+			case a.Key == slog.TimeKey && len(groups) == 0:
+				return slog.Attr{}
+			case a.Value.Kind() == slog.KindDuration:
+				return slog.Duration(a.Key, 1500*time.Millisecond)
+			}
+			return a
+		},
+	}
+	if json {
+		return slog.New(slog.NewJSONHandler(buf, opts))
+	}
+	return slog.New(slog.NewTextHandler(buf, opts))
+}
+
+func TestLogRecoveryGoldenText(t *testing.T) {
+	rep := RecoveryReport{
+		SnapshotLoaded: true,
+		SnapshotBytes:  4096,
+		Replay:         ReplayReport{Entries: 12, Ticks: 3},
+		Duration:       time.Second,
+	}
+	st := Stats{Workers: 5, Tasks: 9, AssignedTasks: 4}
+
+	var buf bytes.Buffer
+	LogRecovery(goldenLogger(&buf, false), rep, st)
+	want := `level=INFO msg="recovery complete" elapsed=1.5s snapshot_loaded=true snapshot_bytes=4096 entries_replayed=12 ticks_replayed=3 workers=5 tasks=9 assigned=4` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("text golden mismatch:\ngot  %q\nwant %q", got, want)
+	}
+
+	// Torn tail adds the warning line.
+	rep.Replay.TornTail = true
+	rep.Replay.TornTailBytes = 17
+	buf.Reset()
+	LogRecovery(goldenLogger(&buf, false), rep, st)
+	want += `level=WARN msg="truncated torn journal tail" bytes=17` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("torn-tail golden mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestLogRecoveryGoldenJSON(t *testing.T) {
+	rep := RecoveryReport{Replay: ReplayReport{Entries: 2}, Duration: time.Second}
+	var buf bytes.Buffer
+	LogRecovery(goldenLogger(&buf, true), rep, Stats{Workers: 1})
+	want := `{"level":"INFO","msg":"recovery complete","elapsed":1500000000,"snapshot_loaded":false,"snapshot_bytes":0,"entries_replayed":2,"ticks_replayed":0,"workers":1,"tasks":0,"assigned":0}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("json golden mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestLogShutdownGolden(t *testing.T) {
+	var buf bytes.Buffer
+	done := LogShutdown(goldenLogger(&buf, false), 10*time.Second)
+	done(nil)
+	want := `level=INFO msg="signal received; draining" limit=1.5s` + "\n" +
+		`level=INFO msg="stopped cleanly" elapsed=1.5s` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("clean shutdown golden mismatch:\ngot  %q\nwant %q", got, want)
+	}
+
+	buf.Reset()
+	done = LogShutdown(goldenLogger(&buf, false), 10*time.Second)
+	done(errors.New("drain deadline exceeded"))
+	want = `level=INFO msg="signal received; draining" limit=1.5s` + "\n" +
+		`level=ERROR msg="shutdown drain failed" elapsed=1.5s error="drain deadline exceeded"` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("failed shutdown golden mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestLogHelpersNilSafe(t *testing.T) {
+	LogRecovery(nil, RecoveryReport{}, Stats{})
+	LogShutdown(nil, time.Second)(errors.New("x"))
+	if orDiscard(nil) == nil {
+		t.Fatal("orDiscard(nil) returned nil")
+	}
+	// The discard logger swallows events without formatting them.
+	orDiscard(nil).Info("dropped", "k", "v")
+	l := discardLogger()
+	if l.Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+}

@@ -107,9 +107,15 @@ func writeID(w http.ResponseWriter, id int) {
 // failures classify: 422 for invalid requests, 429 + Retry-After when the
 // ingest admission queue is full, 503 + Retry-After when the journal (disk)
 // failed.
+//
+// Every route runs through the request-telemetry middleware (middleware.go):
+// X-Request-ID in/out, per-route dasc_http_* instruments, sampled access log.
 func Handler(p *Platform) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, p.instrument(pattern, h))
+	}
+	handle("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
 		if !ready(p, w) {
 			return
 		}
@@ -122,21 +128,21 @@ func Handler(p *Platform) http.Handler {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		id, err := p.RegisterWorker(model.Worker{
+		id, err := p.RegisterWorkerTagged(model.Worker{
 			Loc:      pt(dto.X, dto.Y),
 			Start:    dto.Start,
 			Wait:     dto.Wait,
 			Velocity: dto.Velocity,
 			MaxDist:  dto.MaxDist,
 			Skills:   model.NewSkillSet(dto.Skills...),
-		})
+		}, requestIDFrom(r.Context()))
 		if err != nil {
 			httpError(w, registerStatus(w, err), err)
 			return
 		}
 		writeID(w, int(id))
 	})
-	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
 		if !ready(p, w) {
 			return
 		}
@@ -149,21 +155,21 @@ func Handler(p *Platform) http.Handler {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		id, err := p.RegisterTask(model.Task{
+		id, err := p.RegisterTaskTagged(model.Task{
 			Loc:      pt(dto.X, dto.Y),
 			Start:    dto.Start,
 			Wait:     dto.Wait,
 			Requires: dto.Requires,
 			Deps:     dto.Deps,
 			Weight:   dto.Weight,
-		})
+		}, requestIDFrom(r.Context()))
 		if err != nil {
 			httpError(w, registerStatus(w, err), err)
 			return
 		}
 		writeID(w, int(id))
 	})
-	mux.HandleFunc("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
 		if !ready(p, w) {
 			return
 		}
@@ -180,7 +186,7 @@ func Handler(p *Platform) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("non-finite ?t=<time>: %q", raw))
 			return
 		}
-		out, err := p.Tick(now)
+		out, err := p.TickTagged(now, requestIDFrom(r.Context()))
 		if err != nil {
 			// A tick that failed because the DISK failed is the server's
 			// problem (503, retryable), not a request conflict.
@@ -194,7 +200,7 @@ func Handler(p *Platform) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
-	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if !ready(p, w) {
 			return
 		}
@@ -209,20 +215,20 @@ func Handler(p *Platform) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusOK
 		if !p.Ready() {
 			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, map[string]bool{"ready": p.Ready()})
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.StatsView())
 	})
-	mux.HandleFunc("GET /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
 		depth, capacity := p.IngestQueueDepth()
 		n := DefaultIngestBatch
 		if raw := r.URL.Query().Get("last"); raw != "" {
@@ -240,7 +246,7 @@ func Handler(p *Platform) http.Handler {
 			"drains":         p.IngestDrains(n),
 		})
 	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		switch format := r.URL.Query().Get("format"); format {
 		case "", "text":
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -256,7 +262,7 @@ func Handler(p *Platform) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown ?format=%q (want text or json)", format))
 		}
 	})
-	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
 		// Same hardening stance as /v1/tick?t=: strict integer parse, no
 		// silent defaults for garbage.
 		n := p.Traces().Len()
@@ -270,19 +276,19 @@ func Handler(p *Platform) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, p.Traces().Last(n))
 	})
-	mux.HandleFunc("GET /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := dataset.WriteAssignment(w, p.AssignmentsView()); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 		}
 	})
-	mux.HandleFunc("GET /v1/instance", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/instance", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := dataset.Write(w, p.InstanceView()); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 		}
 	})
-	mux.HandleFunc("GET /v1/svg", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/svg", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "image/svg+xml")
 		err := viz.WriteSVG(w, p.InstanceView(), viz.SVGOptions{
 			Assignment: p.AssignmentsView(),
@@ -389,8 +395,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// httpError answers with {"error":...} plus the request's correlation ID —
+// read back off the response header, where the middleware set it before the
+// handler ran, so error bodies self-identify with zero extra plumbing.
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if id := w.Header().Get(RequestIDHeader); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }
 
 func pt(x, y float64) geo.Point { return geo.Pt(x, y) }

@@ -47,11 +47,14 @@ const (
 )
 
 // ingestReq is one staged registration; done (buffered, capacity 1) carries
-// the committer's answer back to the waiting submitter.
+// the committer's answer back to the waiting submitter. reqID is the HTTP
+// correlation ID (middleware.go), reported on the drain trace that commits
+// the entry; empty for untagged submissions.
 type ingestReq struct {
 	kind   ingestKind
 	worker model.Worker
 	task   model.Task
+	reqID  string
 	done   chan ingestResult
 }
 
@@ -78,6 +81,7 @@ func getReq(kind ingestKind) *ingestReq {
 func putReq(r *ingestReq) {
 	r.worker = model.Worker{}
 	r.task = model.Task{}
+	r.reqID = ""
 	reqPool.Put(r)
 }
 
@@ -186,6 +190,13 @@ func (g *ingest) gather(batch []*ingestReq) []*ingestReq {
 // AddWorker — only the commit is shared with every other registration in
 // the same drain.
 func (p *Platform) RegisterWorker(w model.Worker) (model.WorkerID, error) {
+	return p.RegisterWorkerTagged(w, "")
+}
+
+// RegisterWorkerTagged is RegisterWorker carrying the correlation ID of the
+// HTTP request, reported on the drain trace that commits the registration
+// (GET /v1/ingest). Empty means untagged.
+func (p *Platform) RegisterWorkerTagged(w model.Worker, requestID string) (model.WorkerID, error) {
 	if p.ing == nil {
 		return p.AddWorker(w)
 	}
@@ -196,6 +207,7 @@ func (p *Platform) RegisterWorker(w model.Worker) (model.WorkerID, error) {
 	}
 	req := getReq(ingestWorker)
 	req.worker = w
+	req.reqID = requestID
 	if err := p.enqueue(req); err != nil {
 		putReq(req)
 		return 0, err
@@ -209,6 +221,12 @@ func (p *Platform) RegisterWorker(w model.Worker) (model.WorkerID, error) {
 // front, dependency validation and closure inside the commit (it needs the
 // registry), group-committed with the rest of the drain.
 func (p *Platform) RegisterTask(t model.Task) (model.TaskID, error) {
+	return p.RegisterTaskTagged(t, "")
+}
+
+// RegisterTaskTagged is RegisterTask carrying the correlation ID of the HTTP
+// request; see RegisterWorkerTagged.
+func (p *Platform) RegisterTaskTagged(t model.Task, requestID string) (model.TaskID, error) {
 	if p.ing == nil {
 		return p.AddTask(t)
 	}
@@ -217,6 +235,7 @@ func (p *Platform) RegisterTask(t model.Task) (model.TaskID, error) {
 	}
 	req := getReq(ingestTask)
 	req.task = t
+	req.reqID = requestID
 	if err := p.enqueue(req); err != nil {
 		putReq(req)
 		return 0, err
@@ -333,6 +352,7 @@ func (p *Platform) commitBatch(reqs []*ingestReq) {
 	journalD := time.Since(jstart)
 
 	committed := 0
+	var reqIDs []string
 	if jerr != nil {
 		for _, i := range staged {
 			results[i] = ingestResult{err: jerr}
@@ -345,10 +365,22 @@ func (p *Platform) commitBatch(reqs []*ingestReq) {
 		}
 		p.tasks = append(p.tasks, stagedT...)
 		committed = len(staged)
+		// Collect correlation IDs in commit order NOW: once a waiter is
+		// answered below it recycles its request (putReq zeroes reqID).
+		for _, i := range staged {
+			if id := reqs[i].reqID; id != "" {
+				reqIDs = append(reqIDs, id)
+			}
+		}
 		p.publishViewLocked()
 	}
 	depth := len(p.ing.queue)
 	p.mu.Unlock()
+
+	if jerr != nil {
+		p.log.Error("ingest drain failed",
+			"requests", len(reqs), "queue_depth", depth, "error", jerr.Error())
+	}
 
 	for i := range reqs {
 		reqs[i].done <- results[i]
@@ -356,15 +388,17 @@ func (p *Platform) commitBatch(reqs []*ingestReq) {
 
 	p.ing.seq++
 	tr := obs.DrainTrace{
-		Seq:        p.ing.seq,
-		Requests:   len(reqs),
-		Committed:  committed,
-		Workers:    len(stagedW),
-		Tasks:      len(stagedT),
-		Failed:     len(reqs) - committed,
-		QueueDepth: depth,
-		CommitMS:   float64(time.Since(start)) / float64(time.Millisecond),
-		JournalMS:  float64(journalD) / float64(time.Millisecond),
+		Seq:            p.ing.seq,
+		Requests:       len(reqs),
+		Committed:      committed,
+		Workers:        len(stagedW),
+		Tasks:          len(stagedT),
+		Failed:         len(reqs) - committed,
+		QueueDepth:     depth,
+		CommitMS:       float64(time.Since(start)) / float64(time.Millisecond),
+		JournalMS:      float64(journalD) / float64(time.Millisecond),
+		RequestIDs:     obs.CapRequestIDs(reqIDs),
+		RequestIDCount: len(reqIDs),
 	}
 	p.ing.drains.Add(tr)
 	obs.RecordDrain(p.reg, tr)

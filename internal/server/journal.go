@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -97,6 +98,7 @@ type Journal struct {
 	cAppends *obs.Counter  // resolved once in SetMetrics; nil = no-op
 	cBytes   *obs.Counter
 	cFsyncs  *obs.Counter
+	log      *slog.Logger // nil = silent (SetLogger)
 	err      error
 }
 
@@ -188,6 +190,28 @@ func (j *Journal) SetMetrics(reg *obs.Registry) {
 	j.mu.Unlock()
 }
 
+// SetLogger attaches a structured logger for durability failures (append,
+// flush, fsync, rewind). Nil-safe on both sides; the platform wires its own
+// logger here. A journal failure is sticky (every later append fails fast
+// with the first error), so each failure logs exactly once.
+func (j *Journal) SetLogger(log *slog.Logger) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.log = log
+	j.mu.Unlock()
+}
+
+// failLocked records the journal's first (sticky) failure and logs it.
+func (j *Journal) failLocked(op string, err error) error {
+	j.err = err
+	if j.log != nil {
+		j.log.Error("journal failure", "op", op, "error", err.Error())
+	}
+	return err
+}
+
 func (j *Journal) append(e journalEntry) error { return j.appendN(e, 1) }
 
 // appendN writes one record carrying events logical events (1 for v1 lines,
@@ -201,23 +225,19 @@ func (j *Journal) appendN(e journalEntry, events int) error {
 	}
 	data, err := json.Marshal(e)
 	if err != nil {
-		j.err = err
-		return err
+		return j.failLocked("marshal", err)
 	}
 	n, err := j.w.Write(append(data, '\n'))
 	if err != nil {
-		j.err = err
-		return err
+		return j.failLocked("append", err)
 	}
 	if err := j.w.Flush(); err != nil {
-		j.err = err
-		return err
+		return j.failLocked("flush", err)
 	}
 	j.cAppends.Add(int64(events))
 	j.cBytes.Add(int64(n))
 	if err := j.maybeSyncLocked(); err != nil {
-		j.err = err
-		return err
+		return j.failLocked("fsync", err)
 	}
 	return nil
 }
@@ -259,12 +279,10 @@ func (j *Journal) Sync() error {
 		return j.err
 	}
 	if err := j.w.Flush(); err != nil {
-		j.err = err
-		return err
+		return j.failLocked("flush", err)
 	}
 	if err := j.syncLocked(); err != nil {
-		j.err = err
-		return err
+		return j.failLocked("fsync", err)
 	}
 	return nil
 }
@@ -283,19 +301,19 @@ func (j *Journal) Rewind() error {
 		return errors.New("server: journal is not file-backed; cannot rewind")
 	}
 	if err := j.w.Flush(); err != nil {
-		j.err = err
-		return err
+		return j.failLocked("flush", err)
 	}
 	if err := j.f.Truncate(0); err != nil {
-		j.err = err
-		return err
+		return j.failLocked("rewind", err)
 	}
 	// O_APPEND writes ignore the offset, but keep it coherent for clarity.
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
-		j.err = err
-		return err
+		return j.failLocked("rewind", err)
 	}
-	return j.syncLocked()
+	if err := j.syncLocked(); err != nil {
+		return j.failLocked("fsync", err)
+	}
+	return nil
 }
 
 // workerEntry builds the journal record of a worker registration.

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dasc/internal/obs"
+)
+
+// This file is the request-telemetry middleware every API route runs through
+// (Handler wraps each handler with instrument):
+//
+//   - Every request gets an X-Request-ID — the caller's, if it sent a valid
+//     one, otherwise a generated one — echoed on the response (and inside
+//     error bodies) before the handler runs. The ID threads through the
+//     ingest drain traces (GET /v1/ingest) and tick batch traces
+//     (GET /v1/trace), so one ID correlates a client's request with the
+//     group commit and the batch it landed in.
+//   - Per-route counters by status class, request/response byte counters,
+//     and a log-scale latency histogram (dasc_http_*; see metrics.go).
+//   - A sampled structured access log (request id, route, status, latency).
+//
+// The instruments are resolved once per route at mux construction, so the
+// per-request cost is a handful of atomic adds and two clock reads — no
+// registry lookups, no allocation beyond the status-recording writer.
+
+// RequestIDHeader is the correlation header the middleware assigns or
+// accepts, and every response echoes.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted inbound request IDs; anything longer (or
+// containing non-printable bytes) is replaced with a generated ID rather
+// than rejected — correlation is best-effort, not a validation surface.
+const maxRequestIDLen = 128
+
+type ctxKey int
+
+const reqIDKey ctxKey = iota
+
+// requestIDFrom returns the request's correlation ID, assigned by the
+// middleware before the handler ran; empty for un-instrumented requests.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey).(string)
+	return id
+}
+
+// validRequestID accepts printable-ASCII IDs without spaces, quotes or
+// backslashes, at most maxRequestIDLen bytes. The exclusions keep IDs
+// greppable in access logs and safe inside JSON and Prometheus label quoting
+// without escaping.
+func validRequestID(s string) bool {
+	if len(s) == 0 || len(s) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c >= 0x7f || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// middleware holds the per-platform request-telemetry state: the ID
+// generator, the access-log sampler and the structured logger.
+type middleware struct {
+	log *slog.Logger
+	// accessEvery samples the access log: every Nth request per route group
+	// logs one line (1 = every request, 0 = disabled). Sampling keeps the
+	// log useful under load without logging 100k lines/s.
+	accessEvery int64
+	accessN     atomic.Int64
+	// idPrefix is a per-process random prefix; idSeq a process-local
+	// sequence. Together they make generated IDs unique across restarts
+	// without per-request entropy reads.
+	idPrefix string
+	idSeq    atomic.Uint64
+}
+
+func newMiddleware(log *slog.Logger, accessEvery int) *middleware {
+	var b [6]byte
+	_, _ = crand.Read(b[:]) // zero prefix on entropy failure is still valid
+	return &middleware{
+		log:         log,
+		accessEvery: int64(accessEvery),
+		idPrefix:    hex.EncodeToString(b[:]),
+	}
+}
+
+// nextID generates a request ID: <12 hex process chars>-<hex sequence>.
+func (m *middleware) nextID() string {
+	return m.idPrefix + "-" + strconv.FormatUint(m.idSeq.Add(1), 16)
+}
+
+// routeMetrics are one route's pre-resolved instruments; resolving at mux
+// construction keeps registry lookups (a mutex + map access each) off the
+// per-request path.
+type routeMetrics struct {
+	byClass   [5]*obs.Counter // 1xx..5xx by leading digit
+	other     *obs.Counter    // status outside 100..599 (handler bug)
+	reqBytes  *obs.Counter
+	respBytes *obs.Counter
+	latency   *obs.Histogram
+}
+
+func newRouteMetrics(reg *obs.Registry, route string) *routeMetrics {
+	rm := &routeMetrics{
+		other:     reg.Counter(obs.Labeled(obs.MHTTPRequestsTotal, "route", route, "code", "other")),
+		reqBytes:  reg.Counter(obs.Labeled(obs.MHTTPRequestBytesTotal, "route", route)),
+		respBytes: reg.Counter(obs.Labeled(obs.MHTTPResponseBytesTotal, "route", route)),
+		latency:   reg.Histogram(obs.Labeled(obs.THTTPRequestSeconds, "route", route)),
+	}
+	for i := range rm.byClass {
+		class := strconv.Itoa(i+1) + "xx"
+		rm.byClass[i] = reg.Counter(obs.Labeled(obs.MHTTPRequestsTotal, "route", route, "code", class))
+	}
+	return rm
+}
+
+// counterFor maps a status code to its class counter.
+func (rm *routeMetrics) counterFor(status int) *obs.Counter {
+	if status < 100 || status > 599 {
+		return rm.other
+	}
+	return rm.byClass[status/100-1]
+}
+
+// statusWriter records the status code and body bytes a handler wrote.
+// Unwrap exposes the underlying writer for http.ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps one route's handler with the request telemetry: request-ID
+// assignment and echo, status/byte/latency instruments, sampled access log.
+// route is the mux pattern ("POST /v1/workers") — the label every dasc_http_*
+// series carries.
+func (p *Platform) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := newRouteMetrics(p.reg, route)
+	m := p.mw
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if !validRequestID(id) {
+			id = m.nextID()
+		}
+		// Set before the handler runs: error paths (httpError) read the ID
+		// back off the header, and clients see it even on failures.
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
+		if sw.status == 0 {
+			// Handler wrote nothing; net/http will answer 200 on return.
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+
+		rm.counterFor(sw.status).Inc()
+		if r.ContentLength > 0 {
+			rm.reqBytes.Add(r.ContentLength)
+		}
+		rm.respBytes.Add(sw.bytes)
+		rm.latency.Observe(elapsed.Seconds())
+
+		if m.accessEvery > 0 && (m.accessN.Add(1)-1)%m.accessEvery == 0 {
+			m.log.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("request_id", id),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
+	}
+}

@@ -68,7 +68,8 @@ func TestMetricsEndpointTextAndJSON(t *testing.T) {
 		"dasc_batches_total 1",
 		fmt.Sprintf("dasc_assigned_pairs_total %d", st.AssignedTasks),
 		"# TYPE dasc_cache_workers_rebuilt_total counter",
-		"# TYPE dasc_phase_alloc_seconds summary",
+		"# TYPE dasc_phase_alloc_seconds histogram",
+		`dasc_phase_alloc_seconds_bucket{le="+Inf"} 1`,
 		"dasc_phase_alloc_seconds_count 1",
 		"# TYPE dasc_batch_active_workers gauge",
 		"dasc_batch_active_workers 3",
@@ -94,8 +95,8 @@ func TestMetricsEndpointTextAndJSON(t *testing.T) {
 	if snap.Counters[obs.MBatchesTotal] != 1 || snap.Counters[obs.MAssignedTotal] != int64(st.AssignedTasks) {
 		t.Errorf("json counters = %v", snap.Counters)
 	}
-	if snap.Timers[obs.TPhaseIndex].Count != 1 {
-		t.Errorf("json timers = %v", snap.Timers)
+	if snap.Histograms[obs.TPhaseIndex].Count != 1 {
+		t.Errorf("json histograms = %v", snap.Histograms)
 	}
 
 	if resp, _ := getBody(t, ts.URL+"/v1/metrics?format=xml"); resp.StatusCode != http.StatusBadRequest {

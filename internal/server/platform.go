@@ -9,6 +9,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,11 @@ type Platform struct {
 	// lookup is a mutex + map access the per-request path should not pay).
 	cIngEnq *obs.Counter
 	cIngRej *obs.Counter
+
+	// log is the structured event logger (never nil — discard by default);
+	// mw is the per-request telemetry state behind instrument (middleware.go).
+	log *slog.Logger
+	mw  *middleware
 
 	workers []model.Worker
 	wstate  []workerState
@@ -145,6 +151,14 @@ type Config struct {
 	// far fewer fsyncs — under concurrent load (cf. Postgres commit_delay).
 	// Only meaningful with IngestQueue > 0.
 	IngestWait time.Duration
+	// Logger receives the platform's structured events (snapshot rotations,
+	// journal failures, ingest drain failures, the sampled access log). Nil
+	// means discard — embedders that never think about logging get silence.
+	Logger *slog.Logger
+	// AccessLogEvery samples the HTTP access log: every Nth instrumented
+	// request logs one line (1 = every request). Zero or negative disables
+	// the access log; lifecycle and failure events log regardless.
+	AccessLogEvery int
 }
 
 // NewPlatform creates an empty platform.
@@ -194,15 +208,21 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		maxBody:     maxBody,
 		reg:         obs.NewRegistry(),
 		traces:      obs.NewTraceRing(cfg.TraceDepth),
+		log:         orDiscard(cfg.Logger),
 		assigned:    make(map[model.TaskID]model.WorkerID),
 		botched:     make(map[model.TaskID]bool),
 		finishAt:    make(map[model.TaskID]float64),
 	}
+	p.mw = newMiddleware(p.log, cfg.AccessLogEvery)
 	p.cIngEnq = p.reg.Counter(obs.MIngestEnqueuedTotal)
 	p.cIngRej = p.reg.Counter(obs.MIngestRejectedTotal)
+	// Process-level runtime gauges (dasc_runtime_*), sampled when scraped.
+	obs.RegisterRuntimeMetrics(p.reg)
 	// The journal reports durability metrics through the platform registry
-	// so appends/fsyncs show up on GET /v1/metrics.
+	// so appends/fsyncs show up on GET /v1/metrics, and journal failures
+	// (append, flush, fsync) land in the structured log.
 	p.journal.SetMetrics(p.reg)
+	p.journal.SetLogger(p.log)
 	p.publishView()
 	if cfg.IngestQueue > 0 {
 		p.ing = newIngest(cfg.IngestQueue, cfg.IngestBatch, cfg.IngestWait)
@@ -404,6 +424,14 @@ type BatchOutcome struct {
 // (now < p.now is false for every subsequent time, so the backwards guard
 // could never fire again).
 func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
+	return p.TickTagged(now, "")
+}
+
+// TickTagged is Tick carrying the correlation ID of the request that
+// triggered the batch; the ID lands on the batch's trace (GET /v1/trace), so
+// a client can find exactly the batch its POST /v1/tick ran. Empty means an
+// untagged (ticker- or replay-driven) batch.
+func (p *Platform) TickTagged(now float64, requestID string) (*BatchOutcome, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if math.IsNaN(now) || math.IsInf(now, 0) {
@@ -421,6 +449,7 @@ func (p *Platform) Tick(now float64) (*BatchOutcome, error) {
 	out := &BatchOutcome{Batch: p.batches, Time: now, Assigned: []model.Pair{}}
 	p.batches++
 	rec := obs.NewBatchRec(out.Batch, now)
+	rec.SetRequestID(requestID)
 
 	in := &model.Instance{Workers: p.workers, Tasks: p.tasks, Dist: p.dist}
 	var bws []core.BatchWorker

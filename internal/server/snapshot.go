@@ -226,7 +226,10 @@ func (p *Platform) saveSnapshotLocked(path string) (info SnapshotInfo, err error
 	p.ticksSinceSnap = 0
 	p.reg.Counter(obs.MSnapshotsTotal).Inc()
 	p.reg.Gauge(obs.MSnapshotBytesGauge).Set(float64(info.Bytes))
-	p.reg.Timer(obs.TSnapshotSeconds).ObserveDuration(info.Duration)
+	p.reg.Histogram(obs.TSnapshotSeconds).ObserveDuration(info.Duration)
+	p.log.Info("snapshot written",
+		"path", info.Path, "bytes", info.Bytes,
+		"elapsed", info.Duration, "journal_rotated", info.Rotated)
 	return info, nil
 }
 
@@ -256,7 +259,9 @@ func (p *Platform) maybeSnapshotLocked() {
 	if p.ticksSinceSnap < p.snapEvery {
 		return
 	}
-	_, _ = p.saveSnapshotLocked(p.snapPath)
+	if _, err := p.saveSnapshotLocked(p.snapPath); err != nil {
+		p.log.Error("automatic snapshot failed", "path", p.snapPath, "error", err.Error())
+	}
 	p.ticksSinceSnap = 0
 }
 

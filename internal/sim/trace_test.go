@@ -102,8 +102,8 @@ func TestRunFillsBatchTrace(t *testing.T) {
 	if snap.Counters[obs.MAssignedTotal] != int64(res.AssignedPairs) {
 		t.Errorf("%s = %d, want %d", obs.MAssignedTotal, snap.Counters[obs.MAssignedTotal], res.AssignedPairs)
 	}
-	if snap.Timers[obs.TPhaseAlloc].Count != int64(len(results)) {
-		t.Errorf("alloc timer count = %d, want %d", snap.Timers[obs.TPhaseAlloc].Count, len(results))
+	if snap.Histograms[obs.TPhaseAlloc].Count != int64(len(results)) {
+		t.Errorf("alloc histogram count = %d, want %d", snap.Histograms[obs.TPhaseAlloc].Count, len(results))
 	}
 }
 

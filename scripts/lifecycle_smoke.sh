@@ -103,7 +103,7 @@ start_server
 capture_state "$tmp/after"
 diff -u "$tmp/before.stats" "$tmp/after.stats"
 diff -u "$tmp/before.assign" "$tmp/after.assign"
-grep -q 'recovered in' "$tmp/server.log"
+grep -q 'msg="recovery complete"' "$tmp/server.log"
 
 echo "phase 2: snapshot + tail..."
 post /v1/snapshot
@@ -123,8 +123,8 @@ diff -u "$tmp/before2.stats" "$tmp/after2.stats"
 diff -u "$tmp/before2.assign" "$tmp/after2.assign"
 # Snapshot-based recovery must replay only the post-snapshot tail: 2 journal
 # entries (the task and the tick), 1 of them a tick — not all 3 batches.
-grep -q 'snapshot=true' "$tmp/server.log"
-grep -q '2 journal entries (1 ticks) replayed' "$tmp/server.log"
+grep -q 'snapshot_loaded=true' "$tmp/server.log"
+grep -q 'entries_replayed=2 ticks_replayed=1' "$tmp/server.log"
 stop_server
 
 echo "lifecycle smoke: OK"

@@ -73,6 +73,7 @@ run_pass() { # $1 = fsync mode
 	journal="$tmp/events-$1.jsonl"
 	start_server "$1" "$journal"
 	"$tmp/dasc-loadgen" -url "$base" -clients "$clients" -n "$n" \
+		-request-id-prefix "smoke-$1" \
 		-verify-journal "$journal" -out "$tmp/report-$1.json" 1>&2
 	ok=$(sed -n 's/.*"succeeded": \([0-9]*\).*/\1/p' "$tmp/report-$1.json" | head -1)
 	if [ "$ok" != "$n" ]; then
@@ -81,6 +82,32 @@ run_pass() { # $1 = fsync mode
 		exit 1
 	fi
 	grep -q '"match": true' "$tmp/report-$1.json"
+	# Every request sent an X-Request-ID; every 2xx must have echoed it back.
+	mm=$(sed -n 's/.*"id_mismatches": \([0-9]*\).*/\1/p' "$tmp/report-$1.json" | head -1)
+	if [ "$mm" != "0" ]; then
+		echo "loadgen smoke (fsync=$1): id_mismatches=$mm, want 0" >&2
+		cat "$tmp/report-$1.json" >&2
+		exit 1
+	fi
+	# Scrape the telemetry surface while the loaded server is still up: the
+	# request middleware, ingest pipeline and runtime collector must all have
+	# live series after a load pass.
+	curl -fsS "$base/v1/metrics" >"$tmp/metrics-$1.txt"
+	for series in \
+		dasc_http_requests_total \
+		dasc_http_request_seconds_bucket \
+		dasc_http_request_bytes_total \
+		dasc_ingest_committed_total \
+		dasc_ingest_commit_seconds_bucket \
+		dasc_runtime_goroutines \
+		dasc_runtime_heap_alloc_bytes \
+		dasc_runtime_uptime_seconds; do
+		if ! grep -q "^$series" "$tmp/metrics-$1.txt"; then
+			echo "loadgen smoke (fsync=$1): /v1/metrics missing $series" >&2
+			cat "$tmp/metrics-$1.txt" >&2
+			exit 1
+		fi
+	done
 	stop_server
 }
 

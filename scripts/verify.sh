@@ -60,10 +60,17 @@ echo "== lifecycle smoke (kill-and-restart differential)"
 sh scripts/lifecycle_smoke.sh >/dev/null
 echo "lifecycle smoke: OK"
 
+# The metrics inventory lint, called out by name so a stale metrics.go const
+# or a stray dasc_* literal fails loudly here, not buried in the suite above.
+echo "== metrics inventory lint"
+go test ./internal/obs/ -run 'TestMetricsInventoryConstsAreUsed|TestNoStrayMetricNameLiterals' -count 1 >/dev/null
+
 # Loadgen smoke: dasc-loadgen drives a real server twice (fsync=never, then
 # fsync=always), requiring every request acknowledged and the journal replay
-# to match served state byte-for-byte after each pass.
-echo "== loadgen smoke (incl. fsync=always + journal-replay equivalence)"
+# to match served state byte-for-byte after each pass. Every request carries
+# an X-Request-ID (echo verified by the loadgen), and a mid-run /v1/metrics
+# scrape must show live dasc_http_*, dasc_ingest_* and dasc_runtime_* series.
+echo "== loadgen smoke (incl. fsync=always, journal replay, telemetry scrape)"
 sh scripts/loadgen_smoke.sh >/dev/null
 echo "loadgen smoke: OK"
 
