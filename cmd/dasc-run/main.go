@@ -62,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trace    = fs.String("trace", "", "write a per-batch CSV trace of the simulation to this file")
 		metrics  = fs.String("metrics", "", "write aggregated run metrics (Prometheus text format) to this file, or - for stdout")
 		poa      = fs.Int("poa", 0, "with -static: sample N random-init game equilibria against the exact optimum (small instances only)")
+		noGameWL = fs.Bool("no-game-worklist", false, "run game allocators with the naive full best-response sweep instead of the incremental worklist engine")
+		verifyWL = fs.Bool("verify-game-worklist", false, "cross-check the game worklist engine against the naive sweep every batch (differential mode; slow)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,9 +80,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *noGameWL {
+		if g, ok := alloc.(*core.Game); ok {
+			alloc = g.WithWorklistDisabled(true)
+		}
+	}
+
 	timer := stats.StartTimer()
 	if *static {
 		b := core.NewStaticBatch(in)
+		if *verifyWL {
+			if g, ok := alloc.(*core.Game); ok {
+				if err := g.VerifyWorklist(b); err != nil {
+					return fmt.Errorf("game worklist diverged: %w", err)
+				}
+			}
+		}
 		m := core.DependencyFixpoint(b, alloc.Assign(b))
 		fmt.Fprintf(stdout, "algorithm: %s\nscore: %d\ntime_ms: %.3f\n",
 			alloc.Name(), m.Size(), timer.ElapsedMS())
@@ -110,9 +125,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := sim.Config{
-		Allocator:     alloc,
-		BatchInterval: *interval,
-		ServiceTime:   *service,
+		Allocator:          alloc,
+		BatchInterval:      *interval,
+		ServiceTime:        *service,
+		VerifyGameWorklist: *verifyWL,
 	}
 	var traceFile *os.File
 	var csvSink func(sim.BatchResult)

@@ -50,6 +50,12 @@ type Batch struct {
 	idxOnce sync.Once
 	idx     *BatchIndex
 
+	// wire is the game's dependency wiring (see utility.go), built once per
+	// batch like the candidate index: it depends only on Tasks and Satisfied,
+	// so every best-response run over this batch shares it read-only.
+	wireOnce sync.Once
+	wire     *gameWiring
+
 	// rec observes the batch's candidate-engine work (obs.BatchRec is
 	// nil-safe, so the instrumented paths call it unconditionally; nil is
 	// the disabled state and costs one nil check per site).

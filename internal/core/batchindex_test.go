@@ -211,10 +211,10 @@ func TestGameStateDedupDuplicateDeps(t *testing.T) {
 	if gs.depCount[1] != 1 {
 		t.Errorf("depCount = %d, want 1", gs.depCount[1])
 	}
-	if len(gs.deps[1]) != 1 {
-		t.Errorf("deps = %v, want one entry", gs.deps[1])
+	if len(gs.deps(1)) != 1 {
+		t.Errorf("deps = %v, want one entry", gs.deps(1))
 	}
-	if len(gs.dependants[0]) != 1 {
-		t.Errorf("dependants = %v, want one entry", gs.dependants[0])
+	if len(gs.dependants(0)) != 1 {
+		t.Errorf("dependants = %v, want one entry", gs.dependants(0))
 	}
 }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// gameWorklistMatrix is the full option matrix the differential tests sweep:
+// both termination thresholds the paper uses, both initialisations, and both
+// visit orders.
+var gameWorklistMatrix = []GameOptions{
+	{Threshold: 0},
+	{Threshold: 0, GreedyInit: true},
+	{Threshold: 0, ShuffleOrder: true},
+	{Threshold: 0, GreedyInit: true, ShuffleOrder: true},
+	{Threshold: 0.05},
+	{Threshold: 0.05, GreedyInit: true},
+	{Threshold: 0.05, ShuffleOrder: true},
+	{Threshold: 0.05, GreedyInit: true, ShuffleOrder: true},
+}
+
+// TestGameWorklistBitExactMatrix sweeps seeds × the full option matrix and
+// requires the worklist engine to be bit-exact with the naive sweep:
+// identical assignment pairs, round counts, per-round update ratios, final
+// utility, and move counts.
+func TestGameWorklistBitExactMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(rng, 4+rng.Intn(20), 4+rng.Intn(24), 4, trial%2 == 0)
+		seed := rng.Int63()
+		for _, opt := range gameWorklistMatrix {
+			opt.Seed = seed
+			b := NewStaticBatch(in)
+			fast := NewGame(opt)
+			slow := fast.WithWorklistDisabled(true)
+			if got := fast.Options().DisableWorklist; got {
+				t.Fatal("worklist engine must be the default")
+			}
+			af, tf := fast.AssignTraced(b)
+			as, ts := slow.AssignTraced(NewStaticBatch(in))
+			if af.String() != as.String() {
+				t.Fatalf("trial %d opt %+v: assignment diverged:\nworklist %v\nnaive    %v", trial, opt, af, as)
+			}
+			if tf.Rounds != ts.Rounds || tf.Converged != ts.Converged || tf.Active != ts.Active {
+				t.Fatalf("trial %d opt %+v: trace diverged: worklist %+v, naive %+v", trial, opt, tf, ts)
+			}
+			if !float64SlicesEqual(tf.UpdateRatios, ts.UpdateRatios) {
+				t.Fatalf("trial %d opt %+v: update ratios diverged: %v vs %v", trial, opt, tf.UpdateRatios, ts.UpdateRatios)
+			}
+			if tf.FinalUtility != ts.FinalUtility {
+				t.Fatalf("trial %d opt %+v: final utility diverged: %v vs %v", trial, opt, tf.FinalUtility, ts.FinalUtility)
+			}
+			if tf.Moved != ts.Moved {
+				t.Fatalf("trial %d opt %+v: move count diverged: %d vs %d", trial, opt, tf.Moved, ts.Moved)
+			}
+			// Per-round accounting: every active worker is evaluated or
+			// skipped exactly once per round, and only the worklist skips.
+			if tf.Evaluated+tf.Skipped != int64(tf.Active)*int64(tf.Rounds) {
+				t.Fatalf("trial %d opt %+v: worklist counters: evaluated %d + skipped %d != active %d · rounds %d",
+					trial, opt, tf.Evaluated, tf.Skipped, tf.Active, tf.Rounds)
+			}
+			if ts.Skipped != 0 {
+				t.Fatalf("trial %d opt %+v: naive sweep skipped %d workers", trial, opt, ts.Skipped)
+			}
+			if ts.Evaluated != int64(ts.Active)*int64(ts.Rounds) {
+				t.Fatalf("trial %d opt %+v: naive counters: evaluated %d != active %d · rounds %d",
+					trial, opt, ts.Evaluated, ts.Active, ts.Rounds)
+			}
+		}
+	}
+}
+
+// TestGameWorklistVerify exercises the differential escape hatch itself.
+func TestGameWorklistVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 10+rng.Intn(15), 10+rng.Intn(15), 4, true)
+		for _, opt := range gameWorklistMatrix {
+			opt.Seed = rng.Int63()
+			if err := NewGame(opt).VerifyWorklist(NewStaticBatch(in)); err != nil {
+				t.Fatalf("trial %d opt %+v: %v", trial, opt, err)
+			}
+		}
+	}
+}
+
+// TestGameWorklistDeterministicAcrossGOMAXPROCS pins that the engine's output
+// is independent of scheduler width: the parallel pieces live in the batch
+// index build, and the game sweep itself is strictly sequential.
+func TestGameWorklistDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	in := randomInstance(rng, 40, 50, 5, true)
+	opt := GameOptions{Threshold: 0, GreedyInit: true, ShuffleOrder: true, Seed: 7}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var want string
+	var wantTrace GameTrace
+	for i, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		a, tr := NewGame(opt).AssignTraced(NewStaticBatch(in))
+		if i == 0 {
+			want, wantTrace = a.String(), *tr
+			continue
+		}
+		if a.String() != want {
+			t.Fatalf("GOMAXPROCS=%d: assignment diverged:\n%v\nwant %v", procs, a, want)
+		}
+		if tr.Rounds != wantTrace.Rounds || tr.FinalUtility != wantTrace.FinalUtility ||
+			tr.Evaluated != wantTrace.Evaluated || tr.Skipped != wantTrace.Skipped || tr.Moved != wantTrace.Moved {
+			t.Fatalf("GOMAXPROCS=%d: trace diverged: %+v want %+v", procs, tr, wantTrace)
+		}
+	}
+}
+
+// TestGreedyAssignIndicesMatchesAssign pins the index-pair form of the greedy
+// result against the public Assign: same pairs after the dependency fixpoint.
+func TestGreedyAssignIndicesMatchesAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(904))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 5+rng.Intn(20), 5+rng.Intn(20), 4, trial%2 == 0)
+		g := NewGreedy()
+		b := NewStaticBatch(in)
+		taskOf := g.assignIndices(b)
+		dependencyFixpointIndexed(b, taskOf)
+		viaIdx := make(map[[2]int64]bool)
+		for wi, ti := range taskOf {
+			if ti >= 0 {
+				viaIdx[[2]int64{int64(b.Workers[wi].W.ID), int64(b.Tasks[ti].ID)}] = true
+			}
+		}
+		a := g.Assign(NewStaticBatch(in))
+		if len(a.Pairs) != len(viaIdx) {
+			t.Fatalf("trial %d: %d pairs via indices, %d via Assign", trial, len(viaIdx), len(a.Pairs))
+		}
+		for _, p := range a.Pairs {
+			if !viaIdx[[2]int64{int64(p.Worker), int64(p.Task)}] {
+				t.Fatalf("trial %d: pair %v missing from index form", trial, p)
+			}
+		}
+	}
+}
+
+// TestHarmonicMemoMatchesLoop pins the grow-on-demand memo against the
+// open-coded sum, bit for bit, including after out-of-order queries.
+func TestHarmonicMemoMatchesLoop(t *testing.T) {
+	gs := &gameState{}
+	for _, n := range []int{5, 0, 1, 17, 3, 64, 63, 200} {
+		if got, want := gs.harmonic(n), harmonic(n); got != want {
+			t.Fatalf("harmonic(%d): memo %v, loop %v", n, got, want)
+		}
+	}
+	if gs.harmonic(-3) != 0 {
+		t.Fatal("harmonic of negative n should be 0")
+	}
+}
+
+// TestGameStatePoolReuse runs two different batches through the same pool
+// cycle and checks the second run is unpolluted by the first's buffers.
+func TestGameStatePoolReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(905))
+	big := randomInstance(rng, 30, 40, 5, true)
+	small := randomInstance(rng, 5, 6, 3, true)
+	opt := GameOptions{Threshold: 0, GreedyInit: true, Seed: 11}
+
+	// Fresh-state reference for the small instance.
+	want, wantTrace := NewGame(opt).AssignTraced(NewStaticBatch(small))
+
+	// Churn the pool with the big instance, then re-run the small one; the
+	// recycled oversized buffers must produce the identical result.
+	for i := 0; i < 3; i++ {
+		NewGame(opt).Assign(NewStaticBatch(big))
+	}
+	got, gotTrace := NewGame(opt).AssignTraced(NewStaticBatch(small))
+	if got.String() != want.String() {
+		t.Fatalf("pooled rerun diverged:\n%v\nwant %v", got, want)
+	}
+	if gotTrace.FinalUtility != wantTrace.FinalUtility || gotTrace.Rounds != wantTrace.Rounds {
+		t.Fatalf("pooled rerun trace diverged: %+v want %+v", gotTrace, wantTrace)
+	}
+}

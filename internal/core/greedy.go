@@ -60,9 +60,27 @@ func (g *Greedy) Name() string { return NameGreedy }
 // Assign implements Allocator.
 func (g *Greedy) Assign(b *Batch) *model.Assignment {
 	out := model.NewAssignment()
+	for wi, ti := range g.assignIndices(b) {
+		if ti >= 0 {
+			out.Add(b.Workers[wi].W.ID, b.Tasks[ti].ID)
+		}
+	}
+	return finishAssignment(b, out)
+}
+
+// assignIndices runs the greedy loop and returns the raw (pre-fixpoint)
+// assignment as index pairs: worker index → claimed task index, -1 when the
+// worker stays idle. Greedy commits at most one task per worker, so the pair
+// form is lossless; DASC_Game's G-G initialisation consumes it directly
+// without the Assignment/ID round-trip.
+func (g *Greedy) assignIndices(b *Batch) []int32 {
+	taskOf := make([]int32, len(b.Workers))
+	for i := range taskOf {
+		taskOf[i] = -1
+	}
 	sets := atSets(b)
 	if len(sets) == 0 {
-		return out
+		return taskOf
 	}
 
 	assignedTask := make([]bool, len(b.Tasks))
@@ -120,7 +138,7 @@ func (g *Greedy) Assign(b *Batch) *model.Assignment {
 		requeue := make(map[*atSet]bool)
 		for i, ti := range members {
 			wi := staff[i]
-			out.Add(b.Workers[wi].W.ID, b.Tasks[ti].ID)
+			taskOf[wi] = int32(ti)
 			workerFree[wi] = false
 			assignedTask[ti] = true
 			for _, other := range setsByTask[ti] {
@@ -135,7 +153,7 @@ func (g *Greedy) Assign(b *Batch) *model.Assignment {
 			}
 		}
 	}
-	return finishAssignment(b, out)
+	return taskOf
 }
 
 // staff finds distinct free workers for every task index in members.

@@ -1,74 +1,191 @@
 package core
 
-import "dasc/internal/model"
+import (
+	"sync"
 
-// gameState holds the mutable state of one best-response run: each worker's
-// current strategy and the per-task claimant counts, plus the dependency
-// wiring needed to evaluate Equation 3 quickly.
-type gameState struct {
-	b     *Batch
-	alpha float64
+	"dasc/internal/model"
+)
 
-	strategy []int // worker index -> pending task index, or -1 (idle)
-	claims   []int // pending task index -> number of claimants nw_t
+// gameWiring is the batch-invariant dependency structure Equation 3 is
+// evaluated over: the unsatisfied-dependency relation and its inverse as flat
+// CSR slices, plus the per-task dependency counts, weights and liveness
+// preconditions. It depends only on the batch's task list and satisfied set —
+// never on strategies — so it is built once per batch (Batch.gameWiring) and
+// shared read-only by every best-response run over that batch, including the
+// paired runs of VerifyWorklist and repeated Assign calls in benchmarks.
+type gameWiring struct {
+	// deps(ti) = depDat[depOff[ti]:depOff[ti+1]] lists the pending-task
+	// indexes of ti's unsatisfied dependencies; dependants(ti) is the inverse
+	// relation. satisfiedDeps[ti] counts dependencies met by earlier batches.
+	// A dependency outside the batch and not satisfied makes the task
+	// permanently dead this batch (deadTask).
+	depOff       []int32
+	depDat       []int32
+	dependantOff []int32
+	dependantDat []int32
 
-	// deps[ti] lists the pending-task indexes of ti's unsatisfied
-	// dependencies; satisfiedDeps[ti] counts dependencies met by earlier
-	// batches. A dependency outside the batch and not satisfied makes the
-	// task permanently dead this batch (deadTask).
-	deps          [][]int
-	depCount      []int // |D_t| (full dependency-set size, for the α·|D_t| share)
-	dependants    [][]int
+	depCount      []int32 // |D_t| (full dependency-set size, for the α·|D_t| share)
 	deadTask      []bool
-	satisfiedDeps []int
+	satisfiedDeps []int32
 	weight        []float64 // effective task weights (1 in the paper's setting)
 }
 
-// newGameState wires the dependency structure of the batch.
-func newGameState(b *Batch, alpha float64) *gameState {
+// gameWiring returns the batch's dependency wiring, building it on first use.
+// Like Index, the result is immutable and safe for concurrent readers.
+func (b *Batch) gameWiring() *gameWiring {
+	b.wireOnce.Do(func() { b.wire = buildGameWiring(b) })
+	return b.wire
+}
+
+// buildGameWiring assembles the wiring: one pass over the tasks' dependency
+// lists to produce the dep CSR, then a count/prefix/fill inversion into the
+// dependant CSR.
+func buildGameWiring(b *Batch) *gameWiring {
 	n := len(b.Tasks)
-	gs := &gameState{
-		b:             b,
-		alpha:         alpha,
-		strategy:      make([]int, len(b.Workers)),
-		claims:        make([]int, n),
-		deps:          make([][]int, n),
-		depCount:      make([]int, n),
-		dependants:    make([][]int, n),
+	w := &gameWiring{
+		depOff:        make([]int32, n+1),
+		dependantOff:  make([]int32, n+1),
+		depCount:      make([]int32, n),
 		deadTask:      make([]bool, n),
-		satisfiedDeps: make([]int, n),
+		satisfiedDeps: make([]int32, n),
 		weight:        make([]float64, n),
 	}
-	for i := range gs.strategy {
-		gs.strategy[i] = -1
-	}
+
 	// Duplicate dependency entries (possible in instances that bypass
 	// Validate) are collapsed so |D_t| and the dependant lists stay true to
-	// the set semantics of Equation 3.
-	seen := make(map[model.TaskID]bool)
+	// the set semantics of Equation 3. The generation stamp is the task index
+	// plus one, so the map never needs clearing between tasks.
+	seen := make(map[model.TaskID]int)
 	for ti, t := range b.Tasks {
-		gs.weight[ti] = t.EffWeight()
-		clear(seen)
+		w.weight[ti] = t.EffWeight()
+		gen := ti + 1
 		for _, d := range t.Deps {
-			if seen[d] {
+			if seen[d] == gen {
 				continue
 			}
-			seen[d] = true
-			gs.depCount[ti]++
+			seen[d] = gen
+			w.depCount[ti]++
 			if b.Satisfied[d] {
-				gs.satisfiedDeps[ti]++
+				w.satisfiedDeps[ti]++
 				continue
 			}
 			di := b.TaskIndex(d)
 			if di < 0 {
-				gs.deadTask[ti] = true
+				w.deadTask[ti] = true
 				continue
 			}
-			gs.deps[ti] = append(gs.deps[ti], di)
-			gs.dependants[di] = append(gs.dependants[di], ti)
+			w.depDat = append(w.depDat, int32(di))
+		}
+		w.depOff[ti+1] = int32(len(w.depDat))
+	}
+
+	// Invert into the dependant CSR: count, prefix-sum, fill. Scanning tasks
+	// ascending keeps every dependant list ascending, exactly the append
+	// order the old [][]int wiring produced.
+	cnt := make([]int32, n)
+	for _, di := range w.depDat {
+		cnt[di]++
+	}
+	off := int32(0)
+	for ti := 0; ti < n; ti++ {
+		w.dependantOff[ti] = off
+		off += cnt[ti]
+	}
+	w.dependantOff[n] = off
+	w.dependantDat = make([]int32, off)
+	copy(cnt, w.dependantOff[:n])
+	for ti := 0; ti < n; ti++ {
+		for _, di := range w.deps(ti) {
+			w.dependantDat[cnt[di]] = int32(ti)
+			cnt[di]++
 		}
 	}
+	return w
+}
+
+// deps returns the pending-task indexes of ti's unsatisfied dependencies.
+func (w *gameWiring) deps(ti int) []int32 {
+	return w.depDat[w.depOff[ti]:w.depOff[ti+1]]
+}
+
+// dependants returns the pending-task indexes that depend on ti, ascending.
+func (w *gameWiring) dependants(ti int) []int32 {
+	return w.dependantDat[w.dependantOff[ti]:w.dependantOff[ti+1]]
+}
+
+// gameState holds the mutable state of one best-response run: each worker's
+// current strategy and the per-task claimant counts, over the batch's shared
+// read-only dependency wiring (embedded, so gs.deps, gs.weight, gs.deadTask
+// etc. resolve through it).
+//
+// The wiring is flat CSR slices instead of the per-batch [][]int it used to
+// be, and whole gameStates recycle through a sync.Pool (newGameState /
+// release), so in steady state a batch's best-response run allocates nothing
+// beyond the once-per-batch wiring: the strategy and claims slices resize in
+// place and only grow when a larger batch arrives.
+type gameState struct {
+	b     *Batch
+	alpha float64
+	*gameWiring
+
+	strategy []int // worker index -> pending task index, or -1 (idle)
+	claims   []int // pending task index -> number of claimants nw_t
+
+	// harm memoizes harmonic numbers (harm[n] = H(n)), grown on demand and
+	// kept across pool recycles — potential() calls it once per claimed task.
+	harm []float64
+
+	// claimOff/claimDat/claimCur are resolve's counting-sort scratch: the
+	// claimant lists of all tasks laid out CSR-style in one flat buffer
+	// instead of a [][]int of per-task appends.
+	claimOff []int32
+	claimDat []int32
+	claimCur []int32
+}
+
+// gameStatePool recycles gameStates across batches. Only AssignTraced
+// releases states back; tests that hold one past newGameState simply let the
+// GC take it.
+var gameStatePool = sync.Pool{New: func() any { return new(gameState) }}
+
+// grown returns a length-n slice reusing s's capacity when possible. The
+// contents are unspecified; callers must initialise them.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// newGameState wires a pooled state to the batch's dependency structure.
+// Pair it with release() on paths that own the state to completion.
+func newGameState(b *Batch, alpha float64) *gameState {
+	gs := gameStatePool.Get().(*gameState)
+	gs.reset(b, alpha)
 	return gs
+}
+
+// release returns the state (and its buffers) to the pool, dropping the
+// references that would otherwise pin the batch in memory.
+func (gs *gameState) release() {
+	gs.b = nil
+	gs.gameWiring = nil
+	gameStatePool.Put(gs)
+}
+
+// reset points the state at a new batch, reusing the mutable buffers. The
+// dependency wiring comes from the batch's once-built cache, so reset is
+// O(n+m) — it no longer rebuilds the CSRs on every Assign.
+func (gs *gameState) reset(b *Batch, alpha float64) {
+	n, m := len(b.Tasks), len(b.Workers)
+	gs.b, gs.alpha = b, alpha
+	gs.gameWiring = b.gameWiring()
+	gs.strategy = grown(gs.strategy, m)
+	for i := range gs.strategy {
+		gs.strategy[i] = -1
+	}
+	gs.claims = grown(gs.claims, n)
+	clear(gs.claims)
 }
 
 // live reports a_t for pending task ti under the current claims: a task is
@@ -92,8 +209,8 @@ func (gs *gameState) depsLive(ti, extraTi, minusTi int) bool {
 	if gs.deadTask[ti] {
 		return false
 	}
-	for _, di := range gs.deps[ti] {
-		if !gs.live(di, extraTi, minusTi) {
+	for _, di := range gs.deps(ti) {
+		if !gs.live(int(di), extraTi, minusTi) {
 			return false
 		}
 	}
@@ -131,11 +248,11 @@ func (gs *gameState) utility(ti, curTi int) float64 {
 	}
 	// Utility_Dependency: for every pending dependant l with t ∈ D_l,
 	// w_l·∏_{f∈D_l∪{l}} a_f / (α·|D_l|·nw_t).
-	for _, li := range gs.dependants[ti] {
-		if !gs.live(li, extra, minus) {
+	for _, li := range gs.dependants(ti) {
+		if !gs.live(int(li), extra, minus) {
 			continue
 		}
-		if !gs.depsLive(li, extra, minus) {
+		if !gs.depsLive(int(li), extra, minus) {
 			continue
 		}
 		u += gs.weight[li] / (gs.alpha * float64(gs.depCount[li]) * nw)
@@ -188,14 +305,32 @@ func (gs *gameState) potential() float64 {
 		} else {
 			v += gs.weight[ti]
 		}
-		for _, li := range gs.dependants[ti] {
-			if gs.live(li, -1, -1) && gs.depsLive(li, -1, -1) {
+		for _, li := range gs.dependants(ti) {
+			if gs.live(int(li), -1, -1) && gs.depsLive(int(li), -1, -1) {
 				v += gs.weight[li] / (gs.alpha * float64(gs.depCount[li]))
 			}
 		}
-		phi += v * harmonic(n)
+		phi += v * gs.harmonic(n)
 	}
 	return phi
+}
+
+// harmonic returns H(n) from the state's grow-on-demand memo table. Entries
+// are built incrementally in the same ascending order as the open-coded sum,
+// so every memoized value is bit-exact with the package-level harmonic(n)
+// (TestHarmonicMemoMatchesLoop pins this).
+func (gs *gameState) harmonic(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	if len(gs.harm) == 0 {
+		gs.harm = append(gs.harm, 0)
+	}
+	for len(gs.harm) <= n {
+		i := len(gs.harm)
+		gs.harm = append(gs.harm, gs.harm[i-1]+1/float64(i))
+	}
+	return gs.harm[n]
 }
 
 // harmonic returns H(n) = 1 + 1/2 + … + 1/n.

@@ -1,0 +1,100 @@
+package obs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dasc/internal/core"
+	"dasc/internal/geo"
+	"dasc/internal/model"
+	"dasc/internal/obs"
+)
+
+// gameTraceInstance builds a seeded random instance with dependency chains —
+// enough structure for the best-response engine to run several rounds.
+func gameTraceInstance(seed int64, nWorkers, nTasks int) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	const nSkills = 4
+	in := &model.Instance{SkillUniverse: nSkills}
+	for i := 0; i < nWorkers; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID: model.WorkerID(i), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+			Start: 0, Wait: 100,
+			Velocity: 0.05 + rng.Float64()*0.05,
+			MaxDist:  0.3 + rng.Float64()*0.4,
+			Skills:   model.NewSkillSet(model.Skill(rng.Intn(nSkills))),
+		})
+	}
+	for i := 0; i < nTasks; i++ {
+		t := model.Task{
+			ID: model.TaskID(i), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+			Start: 0, Wait: 20 + rng.Float64()*30,
+			Requires: model.Skill(rng.Intn(nSkills)),
+		}
+		if i > 0 && rng.Float64() < 0.4 {
+			t.Deps = append(t.Deps, model.TaskID(rng.Intn(i)))
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	return in
+}
+
+// TestGameTraceInvariant drives both best-response engines through a
+// recorder and asserts the sweep-accounting invariant on the resulting
+// BatchTrace: evaluated + skipped == active · rounds — every active worker
+// is either evaluated or skipped exactly once per round — and the naive
+// sweep never skips. The companion of core's sum(admitted)==FeasiblePairs
+// recorder check, at the trace layer the platforms export.
+func TestGameTraceInvariant(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := gameTraceInstance(seed, 25, 30)
+		for _, disable := range []bool{false, true} {
+			g := core.NewGame(core.GameOptions{GreedyInit: true, Seed: seed, DisableWorklist: disable})
+			b := core.NewStaticBatch(in)
+			rec := obs.NewBatchRec(0, 0)
+			b.SetRecorder(rec)
+			g.Assign(b)
+			tr := rec.Finish()
+			if tr.GameRounds == 0 || tr.GameActive == 0 {
+				t.Fatalf("seed %d disable=%v: game did not run: %+v", seed, disable, tr)
+			}
+			if tr.GameEvaluated+tr.GameSkipped != int64(tr.GameActive)*int64(tr.GameRounds) {
+				t.Fatalf("seed %d disable=%v: evaluated %d + skipped %d != active %d · rounds %d",
+					seed, disable, tr.GameEvaluated, tr.GameSkipped, tr.GameActive, tr.GameRounds)
+			}
+			if disable && tr.GameSkipped != 0 {
+				t.Fatalf("seed %d: naive sweep recorded %d skips", seed, tr.GameSkipped)
+			}
+			if !disable && tr.GameSkipped == 0 {
+				t.Fatalf("seed %d: worklist engine skipped nothing on a multi-round run (%+v)", seed, tr)
+			}
+		}
+	}
+}
+
+// TestGameTraceMetricsRecorded folds a game-bearing trace into a registry and
+// checks the dasc_game_* counters land.
+func TestGameTraceMetricsRecorded(t *testing.T) {
+	in := gameTraceInstance(6, 20, 25)
+	g := core.NewGame(core.GameOptions{GreedyInit: true, Seed: 6})
+	b := core.NewStaticBatch(in)
+	rec := obs.NewBatchRec(0, 0)
+	b.SetRecorder(rec)
+	g.Assign(b)
+	tr := rec.Finish()
+
+	r := obs.NewRegistry()
+	obs.RecordBatch(r, tr)
+	if got := r.Counter(obs.MGameRoundsTotal).Value(); got != int64(tr.GameRounds) {
+		t.Errorf("%s = %d, want %d", obs.MGameRoundsTotal, got, tr.GameRounds)
+	}
+	if got := r.Counter(obs.MGameEvaluatedTotal).Value(); got != tr.GameEvaluated {
+		t.Errorf("%s = %d, want %d", obs.MGameEvaluatedTotal, got, tr.GameEvaluated)
+	}
+	if got := r.Counter(obs.MGameSkippedTotal).Value(); got != tr.GameSkipped {
+		t.Errorf("%s = %d, want %d", obs.MGameSkippedTotal, got, tr.GameSkipped)
+	}
+	if got := r.Counter(obs.MGameMovedTotal).Value(); got != tr.GameMoved {
+		t.Errorf("%s = %d, want %d", obs.MGameMovedTotal, got, tr.GameMoved)
+	}
+}

@@ -69,6 +69,14 @@ const (
 	MCandExaminedTotal = "dasc_candidates_examined_total"
 	MCandAdmittedTotal = "dasc_candidates_admitted_total"
 
+	// DASC_Game best-response engine: rounds run and the worklist sweep's
+	// evaluated/skipped/moved split (skipped stays 0 under the naive sweep,
+	// so skipped/(evaluated+skipped) is the engine's observed skip rate).
+	MGameRoundsTotal    = "dasc_game_rounds_total"
+	MGameEvaluatedTotal = "dasc_game_evaluated_total"
+	MGameSkippedTotal   = "dasc_game_skipped_total"
+	MGameMovedTotal     = "dasc_game_moved_total"
+
 	// Phase latency histograms (seconds, log-scale buckets). These were
 	// uniform-bucket Timers through PR 7; sub-10ms phases collapsed into one
 	// bucket and reported p50 == p99, so latency paths now use the
@@ -134,6 +142,11 @@ func RecordBatch(r *Registry, t BatchTrace) {
 
 	r.Counter(MCandExaminedTotal).Add(t.CandidatesExamined)
 	r.Counter(MCandAdmittedTotal).Add(t.CandidatesAdmitted)
+
+	r.Counter(MGameRoundsTotal).Add(int64(t.GameRounds))
+	r.Counter(MGameEvaluatedTotal).Add(t.GameEvaluated)
+	r.Counter(MGameSkippedTotal).Add(t.GameSkipped)
+	r.Counter(MGameMovedTotal).Add(t.GameMoved)
 
 	r.Histogram(TPhaseIndex).Observe(t.IndexBuildMS / 1e3)
 	r.Histogram(TPhaseAlloc).Observe(t.AllocMS / 1e3)

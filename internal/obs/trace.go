@@ -57,6 +57,17 @@ type BatchTrace struct {
 	Deferred int `json:"deferred"` // pairs dropped by the dependency fixpoint
 	Rogue    int `json:"rogue"`    // pairs naming a worker outside the batch
 
+	// DASC_Game best-response engine outcomes (zero when the allocator is not
+	// game-based). Invariant: GameEvaluated + GameSkipped ==
+	// GameActive · GameRounds — every active worker is either evaluated or
+	// skipped exactly once per round; the naive sweep always has
+	// GameSkipped == 0.
+	GameRounds    int   `json:"game_rounds"`    // best-response rounds executed
+	GameActive    int   `json:"game_active"`    // workers with a non-empty strategy set
+	GameEvaluated int64 `json:"game_evaluated"` // best responses computed
+	GameSkipped   int64 `json:"game_skipped"`   // clean workers skipped by the worklist
+	GameMoved     int64 `json:"game_moved"`     // strategy switches
+
 	// RequestID is the X-Request-ID of the HTTP request that triggered this
 	// batch (POST /v1/tick); empty for ticker- or simulator-driven batches.
 	// The tick→trace correlation hop: grep /v1/trace for the ID a client saw.
@@ -236,6 +247,17 @@ func (r *BatchRec) SetOutcome(assigned, deferred, rogue int) {
 		return
 	}
 	r.trace.Assigned, r.trace.Deferred, r.trace.Rogue = assigned, deferred, rogue
+}
+
+// SetGameStats records the DASC_Game best-response engine's outcomes for
+// the batch: rounds run, workers with a non-empty strategy set, and the
+// evaluated/skipped/moved counters of the (worklist or naive) sweep.
+func (r *BatchRec) SetGameStats(rounds, active int, evaluated, skipped, moved int64) {
+	if r == nil {
+		return
+	}
+	r.trace.GameRounds, r.trace.GameActive = rounds, active
+	r.trace.GameEvaluated, r.trace.GameSkipped, r.trace.GameMoved = evaluated, skipped, moved
 }
 
 // ObservePhases records the batch's phase timings.

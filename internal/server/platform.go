@@ -27,14 +27,15 @@ import (
 type Platform struct {
 	mu sync.Mutex
 
-	alloc       core.Allocator
-	serviceTime float64
-	dist        geo.DistanceFunc
-	journal     *Journal
-	replaying   bool
-	cache       *core.EngineCache
-	noCache     bool
-	verifyCache bool
+	alloc        core.Allocator
+	serviceTime  float64
+	dist         geo.DistanceFunc
+	journal      *Journal
+	replaying    bool
+	cache        *core.EngineCache
+	noCache      bool
+	verifyCache  bool
+	verifyGameWL bool
 
 	// Durability policy: after snapEvery ticks the platform snapshots its
 	// state to snapPath and rotates the journal (snapshot.go).
@@ -118,6 +119,15 @@ type Config struct {
 	// engine against a from-scratch build on every tick and fails the tick
 	// on divergence. Differential-testing hook; expensive.
 	VerifyEngineCache bool
+	// DisableGameWorklist runs DASC_Game allocators with the naive full
+	// best-response sweep instead of the incremental worklist engine — the
+	// game-side analogue of DisableEngineCache. Ignored for non-game
+	// allocators.
+	DisableGameWorklist bool
+	// VerifyGameWorklist cross-checks the worklist engine against the naive
+	// sweep on every tick (identical assignments, rounds, update ratios) and
+	// fails the tick on divergence. Ignored for non-game allocators.
+	VerifyGameWorklist bool
 	// TraceDepth is how many recent batch traces GET /v1/trace can serve;
 	// zero means obs.DefaultTraceDepth.
 	TraceDepth int
@@ -195,23 +205,30 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	alloc := cfg.Allocator
+	if cfg.DisableGameWorklist {
+		if g, ok := alloc.(*core.Game); ok {
+			alloc = g.WithWorklistDisabled(true)
+		}
+	}
 	p := &Platform{
-		alloc:       cfg.Allocator,
-		serviceTime: cfg.ServiceTime,
-		dist:        dist,
-		journal:     cfg.Journal,
-		cache:       core.NewEngineCache(),
-		noCache:     cfg.DisableEngineCache,
-		verifyCache: cfg.VerifyEngineCache,
-		snapPath:    cfg.SnapshotPath,
-		snapEvery:   cfg.SnapshotEvery,
-		maxBody:     maxBody,
-		reg:         obs.NewRegistry(),
-		traces:      obs.NewTraceRing(cfg.TraceDepth),
-		log:         orDiscard(cfg.Logger),
-		assigned:    make(map[model.TaskID]model.WorkerID),
-		botched:     make(map[model.TaskID]bool),
-		finishAt:    make(map[model.TaskID]float64),
+		alloc:        alloc,
+		serviceTime:  cfg.ServiceTime,
+		dist:         dist,
+		journal:      cfg.Journal,
+		cache:        core.NewEngineCache(),
+		noCache:      cfg.DisableEngineCache,
+		verifyCache:  cfg.VerifyEngineCache,
+		verifyGameWL: cfg.VerifyGameWorklist,
+		snapPath:     cfg.SnapshotPath,
+		snapEvery:    cfg.SnapshotEvery,
+		maxBody:      maxBody,
+		reg:          obs.NewRegistry(),
+		traces:       obs.NewTraceRing(cfg.TraceDepth),
+		log:          orDiscard(cfg.Logger),
+		assigned:     make(map[model.TaskID]model.WorkerID),
+		botched:      make(map[model.TaskID]bool),
+		finishAt:     make(map[model.TaskID]float64),
 	}
 	p.mw = newMiddleware(p.log, cfg.AccessLogEvery)
 	p.cIngEnq = p.reg.Counter(obs.MIngestEnqueuedTotal)
@@ -507,6 +524,13 @@ func (p *Platform) TickTagged(now float64, requestID string) (*BatchOutcome, err
 	}
 	indexD := time.Since(phaseStart)
 	phaseStart = time.Now()
+	if p.verifyGameWL {
+		if g, ok := p.alloc.(*core.Game); ok {
+			if err := g.VerifyWorklist(b); err != nil {
+				return nil, fmt.Errorf("server: tick %d: game worklist diverged: %w", out.Batch, err)
+			}
+		}
+	}
 	raw := p.alloc.Assign(b)
 	out.Rogue = core.DropUnknownWorkers(b, raw)
 	p.rogue += out.Rogue

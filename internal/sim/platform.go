@@ -50,6 +50,15 @@ type Config struct {
 	// divergence. Differential-testing hook; expensive, leave off in
 	// production.
 	VerifyEngineCache bool
+	// DisableGameWorklist runs DASC_Game allocators with the naive full
+	// best-response sweep instead of the incremental worklist engine — the
+	// game-side analogue of DisableEngineCache. Ignored for non-game
+	// allocators.
+	DisableGameWorklist bool
+	// VerifyGameWorklist cross-checks the worklist engine against the naive
+	// sweep on every batch (identical assignments, rounds, update ratios) and
+	// aborts the run on divergence. Ignored for non-game allocators.
+	VerifyGameWorklist bool
 	// OnBatch, when non-nil, observes every batch result. It fires after the
 	// batch's dispatches, so the result carries a complete BatchTrace
 	// (phase timings included). Setting it enables per-batch
@@ -118,6 +127,11 @@ func New(in *model.Instance, cfg Config) (*Platform, error) {
 	}
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.DisableGameWorklist {
+		if g, ok := cfg.Allocator.(*core.Game); ok {
+			cfg.Allocator = g.WithWorklistDisabled(true)
+		}
 	}
 	return &Platform{cfg: cfg, in: in}, nil
 }
@@ -233,6 +247,13 @@ func (p *Platform) Run() (*Result, error) {
 			if rec != nil {
 				indexD = time.Since(phaseStart)
 				phaseStart = time.Now()
+			}
+			if cfg.VerifyGameWorklist {
+				if g, ok := cfg.Allocator.(*core.Game); ok {
+					if err := g.VerifyWorklist(b); err != nil {
+						return nil, fmt.Errorf("sim: batch %d: game worklist diverged: %w", batch, err)
+					}
+				}
 			}
 			m := cfg.Allocator.Assign(b)
 			rogue := core.DropUnknownWorkers(b, m)

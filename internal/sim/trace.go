@@ -33,6 +33,11 @@ var csvColumns = []struct {
 	{"cache_hit_ratio", func(br BatchResult) string { return fmt.Sprintf("%.4f", br.Trace.CacheHitRatio()) }},
 	{"candidates_examined", func(br BatchResult) string { return strconv.FormatInt(br.Trace.CandidatesExamined, 10) }},
 	{"candidates_admitted", func(br BatchResult) string { return strconv.FormatInt(br.Trace.CandidatesAdmitted, 10) }},
+	{"game_rounds", func(br BatchResult) string { return strconv.Itoa(br.Trace.GameRounds) }},
+	{"game_active", func(br BatchResult) string { return strconv.Itoa(br.Trace.GameActive) }},
+	{"game_evaluated", func(br BatchResult) string { return strconv.FormatInt(br.Trace.GameEvaluated, 10) }},
+	{"game_skipped", func(br BatchResult) string { return strconv.FormatInt(br.Trace.GameSkipped, 10) }},
+	{"game_moved", func(br BatchResult) string { return strconv.FormatInt(br.Trace.GameMoved, 10) }},
 }
 
 // CSVTrace returns an OnBatch callback that streams one CSV row per batch to

@@ -2,12 +2,14 @@
 # Benchmark runner seeding the repo's perf trajectory. Runs the allocation-
 # sensitive core/geo benchmarks under fixed -benchtime/-count settings and
 # writes the results as JSON (name, ns/op, B/op, allocs/op) to BENCH_4.json
-# (override with BENCH_OUT), then drives a real dasc-server process with
-# dasc-loadgen to measure ingest throughput — synchronous per-request
-# commits vs the group-commit pipeline, both under -fsync=always — and
-# writes that comparison to BENCH_7.json (override with INGEST_OUT).
+# (override with BENCH_OUT); pairs the DASC_Game worklist engine against the
+# naive best-response sweep on the fig10-max workload and writes the speedup
+# to BENCH_9.json (override with GAME_OUT); then drives a real dasc-server
+# process with dasc-loadgen to measure ingest throughput — synchronous
+# per-request commits vs the group-commit pipeline, both under -fsync=always
+# — and writes that comparison to BENCH_7.json (override with INGEST_OUT).
 #
-#   sh scripts/bench.sh           # full run, writes BENCH_4.json + BENCH_7.json
+#   sh scripts/bench.sh           # full run: BENCH_4 + BENCH_9 + BENCH_7
 #   sh scripts/bench.sh -quick    # smoke mode: tiny sizes, for verify.sh
 #
 # Machine-dependent absolute numbers: compare runs from the same box only.
@@ -73,6 +75,67 @@ END {
 ' "$tmp" >"$out"
 
 echo "bench: wrote $out"
+
+# ---------------------------------------------------------------------------
+# DASC_Game best-response engine: the incremental worklist sweep against the
+# naive full sweep on the fig10-max workload (5K workers x 8K tasks). Each
+# trial is one go test invocation running both benchmarks back to back —
+# same process, same generated instance, shared machine conditions — so the
+# per-trial ratio is a paired measurement, and every invocation first proves
+# the worklist engine bit-exact against the naive sweep on the exact bench
+# batch (VerifyWorklist inside benchmarkGameAssign fails the run on any
+# divergence). Medians over trials, BENCH_7-style. GOGC=400 for both engines
+# (the ingest section's identical-tuning rule): the instance + wiring are a
+# large static heap, and default GOGC turns that into a constant per-op GC
+# tax that mostly measures the collector, not the sweep.
+game_out=${GAME_OUT:-BENCH_9.json}
+gbench=2s
+gscale=
+if [ "${1:-}" = "-quick" ]; then
+	gbench=1x
+	gscale=0.05
+fi
+echo "== game engine benchmark (fig10-max, $trials trial(s), benchtime=$gbench)"
+t=1
+while [ $t -le "$trials" ]; do
+	GOGC=400 DASC_GAME_BENCH_SCALE=$gscale go test ./internal/bench -run '^$' \
+		-bench 'BenchmarkGameAssign(Worklist|Naive)$' \
+		-benchtime "$gbench" -count 1 -benchmem >"$work/game$t.txt"
+	wns=$(awk '$1 ~ /^BenchmarkGameAssignWorklist/ { print $3; exit }' "$work/game$t.txt")
+	nns=$(awk '$1 ~ /^BenchmarkGameAssignNaive/ { print $3; exit }' "$work/game$t.txt")
+	echo "$wns" >>"$work/game_w.txt"
+	echo "$nns" >>"$work/game_n.txt"
+	awk -v w="$wns" -v n="$nns" 'BEGIN { printf "%.2f\n", n / w }' >>"$work/game_r.txt"
+	echo "  trial $t: worklist $wns ns/op, naive $nns ns/op"
+	t=$((t + 1))
+done
+
+# gmedian <file>: median of one number per line.
+gmedian() {
+	sort -g "$1" | awk -v n="$trials" 'NR == int((n + 1) / 2)'
+}
+# gjoin <file>: comma-joined values.
+gjoin() {
+	paste -sd, "$1" | sed 's/,/, /g'
+}
+
+{
+	printf '{\n'
+	printf '  "benchmark": "game_worklist_engine",\n'
+	printf '  "workload": "fig10-max synthetic sweep point (5000 workers, 8000 tasks)",\n'
+	printf '  "scale": "%s",\n' "${gscale:-1}"
+	printf '  "trials": %s,\n' "$trials"
+	printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
+	printf '  "note": "each trial is one paired go test run of both engines; VerifyWorklist asserts bit-exact assignments inside every run before timing",\n'
+	printf '  "worklist_ns_per_op": [%s],\n' "$(gjoin "$work/game_w.txt")"
+	printf '  "naive_ns_per_op": [%s],\n' "$(gjoin "$work/game_n.txt")"
+	printf '  "worklist_median_ns_per_op": %s,\n' "$(gmedian "$work/game_w.txt")"
+	printf '  "naive_median_ns_per_op": %s,\n' "$(gmedian "$work/game_n.txt")"
+	printf '  "speedup_per_trial": [%s],\n' "$(gjoin "$work/game_r.txt")"
+	printf '  "speedup_paired_median": %s\n' "$(gmedian "$work/game_r.txt")"
+	printf '}\n'
+} >"$game_out"
+echo "bench: wrote $game_out ($(gmedian "$work/game_r.txt")x worklist vs naive)"
 
 # ---------------------------------------------------------------------------
 # Ingest throughput at -fsync=always with 64 closed-loop clients, three

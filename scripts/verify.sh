@@ -38,6 +38,17 @@ for gmp in 2 8; do
 		-run 'TestEngineCache(NeverMutatesReturnedIndex|IncrementalParallelDeterministic)' -count 1
 done
 
+# The game worklist engine's bit-exactness matrix (worklist vs naive sweep
+# across thresholds, inits and sweep orders) plus its GOMAXPROCS determinism
+# sweep, re-run under the race detector at a starved and a wide scheduler:
+# the engine itself is single-threaded, but it shares pooled state
+# (gameState, gameWorklist, batch wiring) across concurrently-allocating
+# goroutines in the sim and server.
+echo "== go test -race game worklist guards (GOMAXPROCS=2, 8)"
+for gmp in 2 8; do
+	GOMAXPROCS=$gmp go test -race ./internal/core/ -run 'TestGameWorklist' -count 1
+done
+
 # The group-commit ingest pipeline's concurrency tests (hammer included:
 # registrations, ticks, snapshot rotations and reads all concurrent, then a
 # replay-equivalence check), again at a starved and a wide scheduler.
@@ -47,7 +58,7 @@ for gmp in 2 8; do
 done
 
 echo "== bench smoke"
-BENCH_OUT=$(mktemp) INGEST_OUT=$(mktemp) sh scripts/bench.sh -quick >/dev/null
+BENCH_OUT=$(mktemp) GAME_OUT=$(mktemp) INGEST_OUT=$(mktemp) sh scripts/bench.sh -quick >/dev/null
 echo "bench smoke: OK"
 
 # Black-box durability check: a real dasc-server process with a journal is
