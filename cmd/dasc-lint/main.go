@@ -1,0 +1,88 @@
+// Command dasc-lint is the repo's invariant multichecker: it runs the
+// internal/lint analyzers (determinism, epsfloat, poolescape,
+// metricinventory, lockdiscipline) over the packages matching its
+// arguments and exits non-zero on any finding. scripts/verify.sh runs it
+// as a hard gate before the test phase.
+//
+// Usage:
+//
+//	dasc-lint [-json] [-run name] [packages...]
+//
+// With no package arguments it analyzes ./.... Findings go to stdout (one
+// per line, vet style); per-analyzer timing goes to stderr, or into the
+// JSON payload with -json. Exit codes: 0 clean, 1 findings, 2 usage or
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dasc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, with the streams injectable so the
+// CLI tests can assert on exit codes and output shape in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dasc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings and per-analyzer stats as one JSON object on stdout")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 || len(sel) == 0 {
+			fmt.Fprintf(stderr, "dasc-lint: unknown analyzer in -run=%s (use -list)\n", *only)
+			return 2
+		}
+		analyzers = sel
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "dasc-lint: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := res.RenderJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "dasc-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		res.RenderText(stdout, stderr)
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}

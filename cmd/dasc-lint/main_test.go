@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the smoke gate: the multichecker must exit 0 over the
+// whole module, findings-free. If this fails, either real code regressed an
+// invariant or an analyzer grew a false positive — both block the build.
+func TestRepoIsClean(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"dasc/..."}, &out, &errs); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errs.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run wrote findings to stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errs.String(), "determinism") {
+		t.Errorf("stderr missing per-analyzer stats:\n%s", errs.String())
+	}
+}
+
+// seedViolatingModule writes a throwaway `module dasc` tree whose
+// internal/core package reads the wall clock, and chdirs into it.
+func seedViolatingModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	core := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(core, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"): "module dasc\n\ngo 1.22\n",
+		filepath.Join(core, "bad.go"): `package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+}
+
+func TestSeededViolationExitsOne(t *testing.T) {
+	seedViolatingModule(t)
+	var out, errs bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errs); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errs.String())
+	}
+	if !strings.Contains(out.String(), "time.Now") || !strings.Contains(out.String(), "[determinism]") {
+		t.Errorf("findings missing the seeded time.Now violation:\n%s", out.String())
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	seedViolatingModule(t)
+	var out, errs bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errs); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errs.String())
+	}
+	var res struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Analyzers []struct {
+			Name      string  `json:"name"`
+			Packages  int     `json:"packages"`
+			Findings  int     `json:"findings"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+		} `json:"analyzers"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out.String())
+	}
+	if len(res.Analyzers) != 5 {
+		t.Errorf("analyzers = %d, want 5", len(res.Analyzers))
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Analyzer == "determinism" && strings.Contains(f.Message, "time.Now") && f.Line > 0 && strings.HasSuffix(f.File, "bad.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no determinism finding for the seeded time.Now in %s", out.String())
+	}
+}
+
+func TestListAndRunFlags(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "epsfloat", "poolescape", "metricinventory", "lockdiscipline"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+	out.Reset()
+	if code := run([]string{"-run", "nosuch", "./..."}, &out, &errs); code != 2 {
+		t.Errorf("-run=nosuch exit = %d, want 2", code)
+	}
+}
+
+// TestRunSubsetSkipsOthers: -run restricts the analyzer set, so the seeded
+// determinism violation is invisible to an epsfloat-only run.
+func TestRunSubsetSkipsOthers(t *testing.T) {
+	seedViolatingModule(t)
+	var out, errs bytes.Buffer
+	if code := run([]string{"-run", "epsfloat", "./..."}, &out, &errs); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s", code, out.String())
+	}
+}

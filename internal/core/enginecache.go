@@ -259,6 +259,7 @@ func (c *EngineCache) incrementalN(b *Batch, procs int) *BatchIndex {
 		}
 	}
 	arrived := c.arrived[:0]
+	//lint:deterministic-ok iteration order is laundered by the slices.Sort below before anything reads arrived
 	for id, ti := range b.pending {
 		if !c.pending[id] {
 			arrived = append(arrived, int32(ti))
@@ -301,10 +302,10 @@ func (c *EngineCache) incrementalN(b *Batch, procs int) *BatchIndex {
 		cw := c.workers[bw.W.ID]
 		if cw != nil &&
 			cw.loc == bw.Loc &&
-			cw.distBudget == bw.DistBudget &&
-			bw.ReadyAt >= cw.readyAt &&
-			cw.start == bw.W.Start && cw.wait == bw.W.Wait &&
-			cw.velocity == bw.W.Velocity && cw.maxDist == bw.W.MaxDist {
+			cw.distBudget == bw.DistBudget && //lint:epsfloat-ok bit-identity invalidation compare; a tolerance would treat distinct cached states as equal
+			bw.ReadyAt >= cw.readyAt && //lint:epsfloat-ok monotone-readiness guard is deliberately exact; DeadlineFeasible applies the epsilon downstream
+			cw.start == bw.W.Start && cw.wait == bw.W.Wait && //lint:epsfloat-ok bit-identity invalidation compare; a tolerance would treat distinct cached states as equal
+			cw.velocity == bw.W.Velocity && cw.maxDist == bw.W.MaxDist { //lint:epsfloat-ok bit-identity invalidation compare; a tolerance would treat distinct cached states as equal
 			c.revalidate(b, wi, cw, newBySkill, idx, &sc.bs)
 			sc.reused++
 		} else {
@@ -520,6 +521,7 @@ func (c *EngineCache) absorbWorkers(b *Batch, idx *BatchIndex) {
 	}
 	// Sweep departed workers (entries the loop above did not restamp) into
 	// the free list, buffers attached for reuse.
+	//lint:deterministic-ok recycled structs are interchangeable containers; every field and buffer is overwritten before reuse, so free-list order never reaches an index
 	for id, cw := range c.workers {
 		if cw.gen != c.gen {
 			delete(c.workers, id)

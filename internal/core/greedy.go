@@ -223,6 +223,7 @@ func (g *Greedy) staff(b *Batch, members []int, candidates [][]int, workerFree [
 		}
 	}
 	trimmed := make([]int, 0, len(keep))
+	//lint:deterministic-ok iteration order is laundered by the sort.Ints below before trimmed is used
 	for wi := range keep {
 		trimmed = append(trimmed, wi)
 	}

@@ -33,6 +33,7 @@ func (g *Graph) reach(start int, adj [][]int32) []int {
 	}
 	delete(seen, start)
 	out := make([]int, 0, len(seen))
+	//lint:deterministic-ok iteration order is laundered by the sortInts below before out is returned
 	for v := range seen {
 		out = append(out, v)
 	}
@@ -64,6 +65,7 @@ func (g *Graph) TransitiveClosure() (*Graph, error) {
 		}
 		closure[u] = set
 		deps := make([]int, 0, len(set))
+		//lint:deterministic-ok iteration order is laundered by the sortInts below before deps feeds AddDep
 		for v := range set {
 			deps = append(deps, v)
 		}

@@ -1,0 +1,215 @@
+package lint
+
+// A minimal analysistest-style harness: each testdata/src/<name> directory
+// is parsed and type-checked as one package (stdlib imports come from
+// export data, same as the real loader), the analyzer runs through
+// RunOnPackage — the exact path the dasc-lint binary uses — and its
+// findings are matched against `// want "substring"` comments. Every
+// finding must be claimed by a want on its line, and every want must be
+// claimed by a finding.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantQuoted extracts the quoted substrings of a `// want "a" "b"` comment.
+var wantQuoted = regexp.MustCompile(`"([^"]*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+func collectWants(fset *token.FileSet, files []*ast.File) []*expectation {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantQuoted.FindAllStringSubmatch(c.Text[idx:], -1) {
+					wants = append(wants, &expectation{
+						file:   filepath.Base(pos.Filename),
+						line:   pos.Line,
+						substr: m[1],
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadTestdataPackage parses and type-checks testdata/src/<name> as one
+// package. Imports are resolved from build-cache export data via the same
+// goList/exportImporter machinery the production loader uses.
+func loadTestdataPackage(t *testing.T, name, pkgPath string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, fname := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, fname), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", fname, err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	var imp types.Importer
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(".", paths)
+		if err != nil {
+			t.Fatalf("listing testdata imports: %v", err)
+		}
+		imp = newExportImporter(fset, listed)
+	}
+	pkg, info, err := typeCheck(fset, pkgPath, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking testdata/%s: %v", name, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: pkg, Info: info}
+}
+
+// runAnalyzerTestdata drives one analyzer over one testdata package and
+// matches findings against want comments. Returns the suppressed count so
+// tests can assert the //lint: escape hatch fired.
+func runAnalyzerTestdata(t *testing.T, a *Analyzer, name, pkgPath string) int {
+	t.Helper()
+	pkg := loadTestdataPackage(t, name, pkgPath)
+	wants := collectWants(pkg.Fset, pkg.Files)
+	diags, suppressed, err := RunOnPackage(a, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	if a.Finish != nil {
+		if err := a.Finish(func(d Diagnostic) { diags = append(diags, d) }); err != nil {
+			t.Fatalf("%s finish: %v", a.Name, err)
+		}
+	}
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == base && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	return suppressed
+}
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	suppressed := runAnalyzerTestdata(t, NewDeterminism(), "determinism", "dasc/internal/core/determinismtest")
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the annotated laundered loop)", suppressed)
+	}
+}
+
+func TestEpsFloatAnalyzer(t *testing.T) {
+	suppressed := runAnalyzerTestdata(t, NewEpsFloat(), "epsfloat", "dasc/internal/model/epsfloattest")
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the annotated bit-identity compare)", suppressed)
+	}
+}
+
+func TestPoolEscapeAnalyzer(t *testing.T) {
+	suppressed := runAnalyzerTestdata(t, NewPoolEscape(), "poolescape", "dasc/internal/core/poolescapetest")
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the annotated scratch return)", suppressed)
+	}
+}
+
+func TestMetricInventoryAnalyzer(t *testing.T) {
+	runAnalyzerTestdata(t, NewMetricInventory(), "metricinventory", "dasc/internal/obs")
+}
+
+func TestLockDisciplineAnalyzer(t *testing.T) {
+	suppressed := runAnalyzerTestdata(t, NewLockDiscipline(), "lockdiscipline", "dasc/internal/server/locktest")
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the annotated init-time call)", suppressed)
+	}
+}
+
+// TestSuppressionRequiresReason: a bare //lint: annotation with no reason
+// does not mute the finding — it is replaced by a finding demanding one.
+func TestSuppressionRequiresReason(t *testing.T) {
+	const src = `package p
+
+func f(m map[int]int) []int {
+	var out []int
+	//lint:deterministic-ok
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := typeCheck(fset, "dasc/internal/core/p", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, suppressed, err := RunOnPackage(NewDeterminism(), &Package{
+		Path: "dasc/internal/core/p", Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0: a reasonless annotation must not mute", suppressed)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Errorf("diags = %v, want exactly one 'requires a reason' finding", diags)
+	}
+}

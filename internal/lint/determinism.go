@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewDeterminism returns the determinism analyzer. The allocators must be
+// pure functions of (batch, seed): the batch differentials (VerifyIndex,
+// VerifyWorklist) and the GOMAXPROCS determinism sweeps prove bit-exactness
+// only if nothing in the algorithmic packages reads a wall clock, draws
+// from the process-global RNG, or lets Go's randomized map iteration order
+// leak into slices or output. This analyzer flags:
+//
+//   - calls to time.Now / time.Since / time.Until;
+//   - package-level math/rand and math/rand/v2 draws (rand.Intn, rand.Shuffle,
+//     rand.Float64, ... — the process-global source; rand.New over an explicit
+//     seeded Source remains the blessed construction);
+//   - `range` over a map whose body appends to a slice, writes a slice
+//     element, or sends on a channel — the shapes through which iteration
+//     order becomes observable output. Loops that only aggregate
+//     (count/sum/delete/set-insert) are order-insensitive and not flagged.
+//
+// A loop whose order is laundered afterwards (sorted, or provably
+// order-free) is annotated //lint:deterministic-ok <reason>.
+func NewDeterminism() *Analyzer {
+	return &Analyzer{
+		Name:     "determinism",
+		Doc:      "forbids wall-clock reads, global RNG draws and order-sensitive map iteration in the algorithmic packages",
+		Suppress: "deterministic-ok",
+		AppliesTo: prefixFilter(
+			"dasc/internal/core",
+			"dasc/internal/dag",
+			"dasc/internal/matching",
+			"dasc/internal/geo",
+		),
+		Run: runDeterminism,
+	}
+}
+
+// prefixFilter matches package paths equal to or nested under any prefix.
+func prefixFilter(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// globalRandConstructors are the math/rand functions that build explicitly
+// seeded generators rather than drawing from the global source.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock; batch output must be a pure function of (batch, seed)", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					// Methods on *rand.Rand are fine (the receiver carries an
+					// explicit seed); package-level draws use the global source.
+					if fn.Type().(*types.Signature).Recv() == nil && !globalRandConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "global rand.%s draws from the process-wide RNG; thread a seeded *rand.Rand instead", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags map-iteration loops whose body makes iteration order
+// observable: appends, slice-element writes, or channel sends.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					sink = "appends to a slice"
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if lt, ok := pass.TypesInfo.Types[ix.X]; ok && lt.Type != nil {
+						if _, isSlice := lt.Type.Underlying().(*types.Slice); isSlice {
+							sink = "writes a slice element"
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			sink = "sends on a channel"
+		}
+		return true
+	})
+	if sink != "" {
+		pass.Reportf(rng.Pos(), "range over map %s inside the loop; iteration order is randomized — collect and sort, or annotate why order cannot reach output", sink)
+	}
+}

@@ -1,0 +1,264 @@
+// Package lint implements dasc-lint: a suite of custom static analyzers
+// that machine-check the repo's unwritten correctness invariants — the
+// determinism, epsilon-comparison, pooled-memory ownership, metric
+// inventory and lock discipline rules that the differential tests and
+// benches rely on (DESIGN.md §3.12).
+//
+// The analyzers are built directly on go/ast + go/types. The usual
+// foundation for this kind of tool is golang.org/x/tools/go/analysis, but
+// this module is dependency-free by policy, so package lint carries a
+// minimal mirror of that API: an Analyzer runs over one type-checked
+// package at a time (a Pass) and reports Diagnostics; analyzers that need
+// whole-module state (the metric inventory) collect during Run and emit in
+// Finish. The shapes are kept close enough to go/analysis that a future
+// migration is mechanical.
+//
+// Findings are suppressed — never silently, always with a reason — by a
+// same-line or preceding-line comment:
+//
+//	//lint:deterministic-ok order restored by slices.Sort below
+//
+// The suppression key is per-analyzer (Analyzer.Suppress); a matching
+// annotation with no reason is itself a finding, so the escape hatch
+// cannot decay into a bare mute.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer run over one type-checked package.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path ("dasc/internal/core"); for
+	// testdata packages it is the synthetic test path.
+	PkgPath string
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker. Run is called once per package (in
+// import-path order); Finish, when non-nil, is called once after every
+// package has been seen and may report whole-module findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Suppress is the annotation key that mutes a finding on its line
+	// ("deterministic-ok" → //lint:deterministic-ok <reason>).
+	Suppress string
+	// AppliesTo filters packages by import path; nil means every package.
+	// The testdata harness bypasses the filter by calling Run directly.
+	AppliesTo func(pkgPath string) bool
+
+	Run    func(*Pass) error
+	Finish func(report func(Diagnostic)) error
+}
+
+// suppression is one //lint:<key> annotation found in a file.
+type suppression struct {
+	key    string
+	reason string
+	pos    token.Position
+}
+
+// fileSuppressions extracts every //lint: annotation of a file, keyed by
+// the line it applies to: its own line, and — for a comment that stands
+// alone on its line — the following line.
+func fileSuppressions(fset *token.FileSet, f *ast.File) map[int][]suppression {
+	out := map[int][]suppression{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			key, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+			pos := fset.Position(c.Pos())
+			s := suppression{key: key, reason: strings.TrimSpace(reason), pos: pos}
+			out[pos.Line] = append(out[pos.Line], s)
+			// A standalone comment suppresses the next source line; an
+			// end-of-line comment only its own. Column 1..indent heuristic:
+			// treat the comment as standalone when nothing but whitespace
+			// precedes it, which token positions expose as the comment
+			// starting the line's first non-blank token. We approximate by
+			// also registering the next line; a key match is required
+			// anyway, so over-registration cannot hide unrelated findings.
+			out[pos.Line+1] = append(out[pos.Line+1], s)
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diags through the //lint: annotations of the
+// pass's files: a finding whose line (or preceding line) carries the
+// analyzer's key with a reason is dropped; with an empty reason it is
+// replaced by a finding demanding one. Returns kept diagnostics and how
+// many were suppressed.
+func applySuppressions(pass *Pass) (kept []Diagnostic, suppressed int) {
+	byFile := map[string]map[int][]suppression{}
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		byFile[pos.Filename] = fileSuppressions(pass.Fset, f)
+	}
+	key := pass.analyzer.Suppress
+	for _, d := range pass.diags {
+		lines := byFile[d.Pos.Filename]
+		match := false
+		for _, s := range lines[d.Pos.Line] {
+			if s.key != key {
+				continue
+			}
+			if s.reason == "" {
+				kept = append(kept, Diagnostic{
+					Analyzer: d.Analyzer,
+					Pos:      s.pos,
+					Message:  fmt.Sprintf("//lint:%s requires a reason (what makes this safe?)", key),
+				})
+				match = true
+				break
+			}
+			match = true
+			suppressed++
+			break
+		}
+		if !match {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ---- shared AST/type helpers used by several analyzers ----
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for calls of function-typed values, conversions and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// namedTypeName returns the name of an expression's (pointer-dereferenced)
+// named type, or "".
+func namedTypeName(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return typeName(tv.Type)
+}
+
+// typeName returns the name of a (pointer-dereferenced) named or
+// generic-instantiated type, or "".
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return n.Obj().Name()
+	case *types.Alias:
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// rootIdent peels selectors, indexes, stars, parens and type assertions
+// off an expression and returns the identifier at its root, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isSliceOrPointer reports whether the expression's type can alias memory:
+// slices, pointers and maps (the shapes the ownership rules care about).
+func isSliceOrPointer(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isAliasingType(tv.Type)
+}
+
+// isAliasingType reports whether values of t can alias memory.
+func isAliasingType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// NewLockDiscipline returns the lock-discipline analyzer. The server's
+// Platform (and its Journal) follow the *Locked-suffix convention: methods
+// documented `// requires: p.mu` assume the caller holds the receiver's
+// mutex, and calling one unlocked corrupts the registries mid-publish. The
+// convention lived only in comments; this analyzer makes the comment an
+// annotation and checks every intra-package call site:
+//
+//   - a call to a method annotated `// requires: x.mu` is legal when the
+//     calling function is itself annotated with the same lock, or when the
+//     call is dominated (in source order) by `<recv>.mu.Lock()` on the same
+//     receiver chain without an intervening non-deferred Unlock;
+//   - an annotated method must not Lock its own annotated mutex (that is a
+//     guaranteed self-deadlock under the convention).
+//
+// The held-lock tracking is lexical, not path-sensitive: a Lock in one
+// branch does not leak into its sibling, because the walk processes
+// branches independently. Function literals inherit the held set at their
+// definition point (the once.Do / defer idiom). Escapes are annotated
+// //lint:lockdiscipline-ok <reason>.
+func NewLockDiscipline() *Analyzer {
+	return &Analyzer{
+		Name:     "lockdiscipline",
+		Doc:      "checks that methods annotated `// requires: x.mu` are only called with the lock held",
+		Suppress: "lockdiscipline-ok",
+		Run:      runLockDiscipline,
+	}
+}
+
+// requiresRe matches the annotation line: `// requires: p.mu`. Anchored to
+// the start of a doc-comment line so prose MENTIONING the annotation (this
+// analyzer's own doc, say) does not annotate the function it documents.
+var requiresRe = regexp.MustCompile(`(?m)^\s*requires:\s*([A-Za-z_][A-Za-z_0-9]*)\.([A-Za-z_][A-Za-z_0-9]*)\s*$`)
+
+// lockReq records one annotated function: the receiver parameter name it
+// documents and the mutex field the caller must hold.
+type lockReq struct {
+	recv  string // receiver name in the annotation ("p")
+	field string // mutex field name ("mu")
+}
+
+func runLockDiscipline(pass *Pass) error {
+	annotated := map[*types.Func]lockReq{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			m := requiresRe.FindStringSubmatch(fd.Doc.Text())
+			if m == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				annotated[fn] = lockReq{recv: m[1], field: m[2]}
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockUse(pass, fd, annotated)
+		}
+	}
+	return nil
+}
+
+// callerRequirement returns the lock expression ("p.mu") the enclosing
+// function is annotated as requiring, or "".
+func callerRequirement(pass *Pass, fd *ast.FuncDecl, annotated map[*types.Func]lockReq) string {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	req, ok := annotated[fn]
+	if !ok {
+		return ""
+	}
+	return req.recv + "." + req.field
+}
+
+// checkLockUse walks one function, tracking which mutex expressions are
+// held at each point, and flags calls to annotated methods made unlocked
+// (and self-locks inside annotated methods).
+func checkLockUse(pass *Pass, fd *ast.FuncDecl, annotated map[*types.Func]lockReq) {
+	held := map[string]bool{}
+	selfReq := callerRequirement(pass, fd, annotated)
+	if selfReq != "" {
+		held[selfReq] = true
+	}
+	var walk func(n ast.Node, held map[string]bool)
+	visitExpr := func(n ast.Node, held map[string]bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// Lock/Unlock on a mutex-typed selector: "<path>.mu.Lock()".
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "Unlock" {
+				if lockSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && isMutex(pass.TypesInfo, lockSel) {
+					path := types.ExprString(lockSel)
+					if sel.Sel.Name == "Lock" {
+						if selfReq != "" && path == selfReq {
+							pass.Reportf(call.Pos(), "%s.Lock() inside a method annotated `requires: %s`; the caller already holds it (self-deadlock)", path, selfReq)
+						}
+						held[path] = true
+					} else {
+						delete(held, path)
+					}
+					return
+				}
+			}
+		}
+		// Call to an annotated method?
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		req, ok := annotated[fn]
+		if !ok {
+			return
+		}
+		// The lock the CALLER must hold is the callee's mutex field reached
+		// through the call's receiver expression: p.journal.failLocked(...)
+		// requires p.journal.mu.
+		want := req.recv + "." + req.field
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			want = types.ExprString(sel.X) + "." + req.field
+		}
+		if !held[want] {
+			pass.Reportf(call.Pos(), "call to %s (requires %s) without holding %s", fn.Name(), req.recv+"."+req.field, want)
+		}
+	}
+	walk = func(n ast.Node, held map[string]bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.BlockStmt:
+			for _, st := range n.List {
+				walk(st, held)
+			}
+		case *ast.IfStmt:
+			walk(n.Init, held)
+			walkExprs(n.Cond, held, visitExpr)
+			walk(n.Body, copyHeld(held))
+			walk(n.Else, copyHeld(held))
+		case *ast.ForStmt:
+			walk(n.Init, held)
+			walkExprs(n.Cond, held, visitExpr)
+			walk(n.Body, copyHeld(held))
+		case *ast.RangeStmt:
+			walkExprs(n.X, held, visitExpr)
+			walk(n.Body, copyHeld(held))
+		case *ast.SwitchStmt:
+			walk(n.Init, held)
+			walkExprs(n.Tag, held, visitExpr)
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CaseClause)
+				ch := copyHeld(held)
+				for _, st := range cc.Body {
+					walk(st, ch)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walk(n.Init, held)
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CaseClause)
+				ch := copyHeld(held)
+				for _, st := range cc.Body {
+					walk(st, ch)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				ch := copyHeld(held)
+				walk(cc.Comm, ch)
+				for _, st := range cc.Body {
+					walk(st, ch)
+				}
+			}
+		case *ast.DeferStmt:
+			// defer x.mu.Unlock() keeps the lock held through the rest of
+			// the function body; other deferred calls are checked against
+			// the CURRENT held set (close enough: the repo's deferred
+			// cleanups run under the same lock state they were armed in).
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Unlock" {
+				return
+			}
+			walkExprs(n.Call, held, visitExpr)
+		case *ast.GoStmt:
+			// A goroutine does not inherit the spawner's lock.
+			walkExprs(n.Call, copyHeld(nil), visitExpr)
+		case ast.Stmt:
+			walkExprs(n, held, visitExpr)
+		}
+	}
+	walk(fd.Body, held)
+}
+
+// walkExprs visits every node under n in source order with the current
+// held set, entering function literals with a snapshot of it.
+func walkExprs(n ast.Node, held map[string]bool, visit func(ast.Node, map[string]bool)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			inner := copyHeld(held)
+			ast.Inspect(fl.Body, func(k ast.Node) bool {
+				visit(k, inner)
+				return true
+			})
+			return false
+		}
+		visit(m, held)
+		return true
+	})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// isMutex reports whether the selector denotes a sync.Mutex / sync.RWMutex
+// (or embedded equivalent) field.
+func isMutex(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, ok := info.Types[sel]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	n, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NewMetricInventory returns the metric-inventory analyzer, the proper
+// successor of PR 8's go/parser lint test. The dasc_* metric names live as
+// string constants in internal/obs/metrics.go — the inventory DESIGN.md
+// §3.6 documents — and three rules keep exposition and inventory from
+// drifting:
+//
+//   - every inventory constant must be referenced by some non-test code in
+//     the module (a const nobody folds into is a stale entry, or a metric
+//     that silently stopped being recorded);
+//   - no non-test code outside metrics.go may spell a dasc_* name as a
+//     string literal — call sites go through the consts, so renames stay
+//     one-file changes;
+//   - every obs.Labeled call must form a closed label set: the metric name
+//     argument and every label KEY must be compile-time constants, and the
+//     key/value arguments must pair up. Dynamic label values (routes) are
+//     fine; dynamic names or keys would mint unbounded metric families.
+//
+// The first two rules are whole-module properties, so the analyzer collects
+// during Run and reports in Finish.
+func NewMetricInventory() *Analyzer {
+	mi := &metricInventory{
+		used:    map[string]bool{},
+		pending: map[*Pass]bool{},
+	}
+	return &Analyzer{
+		Name:     "metricinventory",
+		Doc:      "keeps the dasc_* metric inventory (obs/metrics.go) closed, referenced and literal-free",
+		Suppress: "metricinventory-ok",
+		Run:      mi.run,
+		Finish:   mi.finish,
+	}
+}
+
+type metricConst struct {
+	name  string
+	value string
+	pos   token.Position
+}
+
+type strayLit struct {
+	value string
+	diag  Diagnostic
+}
+
+type metricInventory struct {
+	inventory []metricConst   // consts declared in obs/metrics.go
+	used      map[string]bool // const name → referenced anywhere
+	strays    []strayLit      // dasc_* literals outside metrics.go
+	pending   map[*Pass]bool
+}
+
+// isMetricsFile reports whether the position is inside obs's metrics.go.
+func isMetricsFile(pkgName string, pos token.Position) bool {
+	return pkgName == "obs" && filepath.Base(pos.Filename) == "metrics.go"
+}
+
+func (mi *metricInventory) run(pass *Pass) error {
+	for _, f := range pass.Files {
+		filePos := pass.Fset.Position(f.Pos())
+		inMetrics := isMetricsFile(pass.Pkg.Name(), filePos)
+		if inMetrics {
+			mi.collectInventory(pass, f)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				// A reference to an obs constant marks it used. Matching is
+				// by (package name, const name): obs's own references come
+				// from source objects, importers' from export data.
+				if obj, ok := pass.TypesInfo.Uses[n].(*types.Const); ok {
+					if obj.Pkg() != nil && obj.Pkg().Name() == "obs" {
+						mi.used[obj.Name()] = true
+					}
+				}
+			case *ast.BasicLit:
+				if inMetrics || n.Kind != token.STRING {
+					return true
+				}
+				v, err := strconv.Unquote(n.Value)
+				// The bare prefix itself is a meta-literal (this analyzer
+				// greps for it), not a metric name.
+				if err != nil || !strings.HasPrefix(v, "dasc_") || v == "dasc_" {
+					return true
+				}
+				mi.strays = append(mi.strays, strayLit{value: v, diag: Diagnostic{
+					Analyzer: "metricinventory",
+					Pos:      pass.Fset.Position(n.Pos()),
+				}})
+			case *ast.CallExpr:
+				mi.checkLabeled(pass, n)
+			}
+			return true
+		})
+	}
+	// Suppression filtering runs per-pass after run returns, but Finish
+	// diagnostics bypass it; whole-module findings anchor to declarations
+	// and literals, where an annotation comment would be checked by the
+	// runner through the pass that owns the file. Keep Finish findings
+	// unconditional: a stale const or stray literal has no safe variant.
+	return nil
+}
+
+// collectInventory records every string constant declared in metrics.go.
+func (mi *metricInventory) collectInventory(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				mi.inventory = append(mi.inventory, metricConst{
+					name:  name.Name,
+					value: v,
+					pos:   pass.Fset.Position(name.Pos()),
+				})
+			}
+		}
+	}
+}
+
+// checkLabeled validates an obs.Labeled call's label-set shape.
+func (mi *metricInventory) checkLabeled(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Labeled" || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return
+	}
+	if len(call.Args) == 0 || call.Ellipsis != token.NoPos {
+		// Spread kv (Labeled(name, kv...)) defeats the closed-set check.
+		if call.Ellipsis != token.NoPos {
+			pass.Reportf(call.Pos(), "obs.Labeled with spread kv arguments; the label set must be closed at the call site")
+		}
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[0]]; !ok || tv.Value == nil {
+		pass.Reportf(call.Args[0].Pos(), "obs.Labeled metric name must be a metrics.go constant, not a computed value")
+	}
+	kv := call.Args[1:]
+	if len(kv)%2 != 0 {
+		pass.Reportf(call.Pos(), "obs.Labeled kv arguments must pair up (key, value); got %d", len(kv))
+		return
+	}
+	for i := 0; i < len(kv); i += 2 {
+		if tv, ok := pass.TypesInfo.Types[kv[i]]; !ok || tv.Value == nil {
+			pass.Reportf(kv[i].Pos(), "obs.Labeled label key must be a compile-time constant; dynamic keys mint unbounded metric families")
+		}
+	}
+}
+
+func (mi *metricInventory) finish(report func(Diagnostic)) error {
+	known := map[string]bool{}
+	for _, c := range mi.inventory {
+		known[c.value] = true
+	}
+	for _, c := range mi.inventory {
+		if !mi.used[c.name] {
+			report(Diagnostic{
+				Analyzer: "metricinventory",
+				Pos:      c.pos,
+				Message:  "metrics.go const " + c.name + " (" + strconv.Quote(c.value) + ") is referenced by no non-test code",
+			})
+		}
+	}
+	sort.SliceStable(mi.strays, func(i, j int) bool {
+		a, b := mi.strays[i].diag.Pos, mi.strays[j].diag.Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, s := range mi.strays {
+		d := s.diag
+		if len(mi.inventory) > 0 && !known[s.value] {
+			d.Message = "literal " + strconv.Quote(s.value) + " is not in the metrics.go inventory — add the const and reference it"
+		} else {
+			d.Message = "metric name " + strconv.Quote(s.value) + " spelled as a literal — use the metrics.go const"
+		}
+		report(d)
+	}
+	return nil
+}

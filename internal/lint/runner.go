@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Analyzers returns a fresh instance of every dasc-lint analyzer, in the
+// order they run. Fresh instances matter: the metric inventory accumulates
+// whole-module state across Run calls.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(),
+		NewEpsFloat(),
+		NewPoolEscape(),
+		NewMetricInventory(),
+		NewLockDiscipline(),
+	}
+}
+
+// AnalyzerStat is one analyzer's run summary.
+type AnalyzerStat struct {
+	Name       string  `json:"name"`
+	Packages   int     `json:"packages"`
+	Findings   int     `json:"findings"`
+	Suppressed int     `json:"suppressed"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// Finding is one diagnostic in the JSON report.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Result is a whole multichecker run.
+type Result struct {
+	Findings  []Finding      `json:"findings"`
+	Analyzers []AnalyzerStat `json:"analyzers"`
+}
+
+// Run loads the patterns relative to dir and runs every analyzer over the
+// matched packages. The returned Result is ready for rendering; load or
+// analyzer errors come back as err.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Findings: []Finding{}, Analyzers: []AnalyzerStat{}}
+	var all []Diagnostic
+	for _, a := range analyzers {
+		start := time.Now()
+		stat := AnalyzerStat{Name: a.Name}
+		for _, pkg := range pkgs {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			stat.Packages++
+			kept, suppressed, err := RunOnPackage(a, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			stat.Suppressed += suppressed
+			stat.Findings += len(kept)
+			all = append(all, kept...)
+		}
+		if a.Finish != nil {
+			if err := a.Finish(func(d Diagnostic) {
+				stat.Findings++
+				all = append(all, d)
+			}); err != nil {
+				return nil, fmt.Errorf("%s finish: %v", a.Name, err)
+			}
+		}
+		stat.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+		res.Analyzers = append(res.Analyzers, stat)
+	}
+	sortDiagnostics(all)
+	for _, d := range all {
+		res.Findings = append(res.Findings, Finding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return res, nil
+}
+
+// RunOnPackage runs one analyzer over one loaded package and applies the
+// //lint: suppressions. Exposed for the analyzer tests, which drive
+// testdata packages through the same path as the real runner.
+func RunOnPackage(a *Analyzer, pkg *Package) (kept []Diagnostic, suppressed int, err error) {
+	pass := &Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		PkgPath:   pkg.Path,
+		analyzer:  a,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, 0, err
+	}
+	kept, suppressed = applySuppressions(pass)
+	return kept, suppressed, nil
+}
+
+// RenderText writes findings to w (one per line, vet style) and the
+// per-analyzer stats to statsW, so a caller can split stdout/stderr.
+func (r *Result) RenderText(w, statsW io.Writer) {
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	for _, s := range r.Analyzers {
+		fmt.Fprintf(statsW, "dasc-lint: %-16s %3d pkgs  %3d findings  %3d suppressed  %8.1fms\n",
+			s.Name, s.Packages, s.Findings, s.Suppressed, s.ElapsedMS)
+	}
+}
+
+// RenderJSON writes the whole result as one JSON object.
+func (r *Result) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,90 @@
+// Package determinism is analyzer testdata: each want comment asserts a
+// finding on its line; lines without one must stay clean.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func untilDeadline(d time.Time) time.Duration {
+	return time.Until(d) // want "time.Until reads the wall clock"
+}
+
+func parseIsFine() (time.Time, error) {
+	// Non-clock time functions are untouched.
+	return time.Parse(time.RFC3339, "2020-01-01T00:00:00Z")
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global rand.Intn draws from the process-wide RNG"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle draws from the process-wide RNG"
+}
+
+func seededDraw(r *rand.Rand) int {
+	// Methods on an explicit generator carry their seed: blessed.
+	return r.Intn(10)
+}
+
+func seededConstruction(seed int64) *rand.Rand {
+	// Constructors build seeded sources; only draws are flagged.
+	return rand.New(rand.NewSource(seed))
+}
+
+func orderLeaksAppend(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // want "range over map appends to a slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+func orderLeaksElement(m map[int]int, out []int) {
+	i := 0
+	for k := range m { // want "range over map writes a slice element"
+		out[i] = k
+		i++
+	}
+}
+
+func orderLeaksSend(m map[int]int, ch chan int) {
+	for k := range m { // want "range over map sends on a channel"
+		ch <- k
+	}
+}
+
+func orderFreeAggregation(m map[int]int) int {
+	// Sums, counts and map/set inserts are order-insensitive: not flagged.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func orderFreeSetInsert(m map[int]int) map[int]bool {
+	set := make(map[int]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+func orderLaundered(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//lint:deterministic-ok iteration order is laundered by the sort.Ints below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,78 @@
+// Package epsfloat is analyzer testdata. It models the repo's
+// time/distance surface locally — the analyzer matches by type NAME
+// (Task, Worker, BatchWorker, DistanceFunc), not package path.
+package epsfloat
+
+const (
+	timeEps = 1e-9
+	DistEps = 1e-9
+)
+
+type Point struct{ X, Y float64 }
+
+type DistanceFunc func(a, b Point) float64
+
+type Task struct {
+	Start, Wait float64
+}
+
+func (t Task) Deadline() float64 { return t.Start + t.Wait }
+
+type Worker struct {
+	Start, Wait, MaxDist float64
+	Loc                  Point
+}
+
+type BatchWorker struct {
+	ReadyAt, DistBudget float64
+}
+
+func rawDeadline(t Task, arrive float64) bool {
+	return arrive <= t.Deadline() // want "raw float64 <= on a model time/distance value"
+}
+
+func epsDeadline(t Task, arrive float64) bool {
+	// Mentioning an *Eps constant is the blessed comparison pattern.
+	return arrive <= t.Deadline()+timeEps
+}
+
+func rawDistBudget(bw BatchWorker, d float64) bool {
+	return d >= bw.DistBudget // want "raw float64 >= on a model time/distance value"
+}
+
+func epsDistBudget(bw BatchWorker, d float64) bool {
+	return d >= bw.DistBudget+DistEps
+}
+
+func rawEquality(w Worker, cached float64) bool {
+	return cached == w.Start // want "raw float64 == on a model time/distance value"
+}
+
+func distFuncTaint(dist DistanceFunc, a, b Point, budget float64) bool {
+	return dist(a, b) >= budget // want "raw float64 >= on a model time/distance value"
+}
+
+func localPropagation(t Task, travel float64) bool {
+	deadline := t.Deadline()
+	limit := deadline * 2
+	return travel >= limit // want "raw float64 >= on a model time/distance value"
+}
+
+func constantIsExact(t Task) bool {
+	// Comparisons against compile-time constants are bit-exact: not flagged.
+	return t.Start == 0
+}
+
+func strictIsCallerBusiness(t Task, arrive float64) bool {
+	// Strict < / > on interior values carry no boundary semantics.
+	return arrive < t.Deadline()
+}
+
+func untaintedFloats(a, b float64) bool {
+	// Neither operand derives from the time/distance surface.
+	return a == b
+}
+
+func bitIdentity(w Worker, cachedStart float64) bool {
+	return cachedStart == w.Start //lint:epsfloat-ok bit-identity cache invalidation must not tolerate drift
+}

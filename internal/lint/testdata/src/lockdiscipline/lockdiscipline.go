@@ -1,0 +1,94 @@
+// Package lockdiscipline is analyzer testdata mirroring the server's
+// *Locked convention: methods annotated `// requires: p.mu` assume the
+// caller holds the receiver's mutex.
+package lockdiscipline
+
+import "sync"
+
+type Platform struct {
+	mu    sync.Mutex
+	count int
+}
+
+// statsLocked reads the registries.
+//
+// requires: p.mu
+func (p *Platform) statsLocked() int { return p.count }
+
+// requires: p.mu
+func (p *Platform) bumpLocked() { p.count++ }
+
+func (p *Platform) LockedCall() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.statsLocked()
+}
+
+func (p *Platform) UnlockedCall() int {
+	return p.statsLocked() // want "call to statsLocked (requires p.mu) without holding p.mu"
+}
+
+func (p *Platform) UnlockThenCall() int {
+	p.mu.Lock()
+	p.count++
+	p.mu.Unlock()
+	return p.statsLocked() // want "call to statsLocked (requires p.mu) without holding p.mu"
+}
+
+// An annotated method calls sibling annotated methods freely: the caller's
+// obligation covers both.
+//
+// requires: p.mu
+func (p *Platform) bothLocked() int {
+	p.bumpLocked()
+	return p.statsLocked()
+}
+
+// requires: p.mu
+func (p *Platform) selfLock() {
+	p.mu.Lock() // want "the caller already holds it (self-deadlock)"
+	p.count++
+}
+
+func (p *Platform) branchScoped(cond bool) int {
+	if cond {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.statsLocked()
+	}
+	return p.statsLocked() // want "call to statsLocked (requires p.mu) without holding p.mu"
+}
+
+func (p *Platform) goroutineLosesLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		_ = p.statsLocked() // want "call to statsLocked (requires p.mu) without holding p.mu"
+	}()
+}
+
+func (p *Platform) funcLitInherits() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := func() int { return p.statsLocked() }
+	return f()
+}
+
+type Server struct {
+	platform Platform
+}
+
+func (s *Server) Stats() int {
+	s.platform.mu.Lock()
+	defer s.platform.mu.Unlock()
+	return s.platform.statsLocked()
+}
+
+func (s *Server) BadStats() int {
+	return s.platform.statsLocked() // want "without holding s.platform.mu"
+}
+
+func (p *Platform) initTime() int {
+	//lint:lockdiscipline-ok construction-time call; the platform is not shared yet
+	return p.statsLocked()
+}

@@ -1,0 +1,10 @@
+// metrics.go is the inventory file: the analyzer keys on the package being
+// named "obs" and the file being named metrics.go, exactly like the real
+// internal/obs/metrics.go.
+package obs
+
+const (
+	MBatches = "dasc_batches_total"
+	MLatency = "dasc_http_request_seconds"
+	MUnused  = "dasc_orphaned_total" // want "referenced by no non-test code"
+)

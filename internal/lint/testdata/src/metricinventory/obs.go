@@ -1,0 +1,8 @@
+package obs
+
+// Labeled mirrors the real obs.Labeled signature the analyzer validates.
+func Labeled(name string, kv ...string) string { return name }
+
+func dynamicName() string { return "computed" }
+
+func dynamicKey() string { return "route" }

@@ -1,0 +1,16 @@
+package obs
+
+func record() []string {
+	out := []string{
+		Labeled(MBatches, "algo", "greedy"),
+		Labeled(MLatency, "code", dynamicKey()), // dynamic label VALUES are fine
+		Labeled("dasc_rogue_total"),             // want "not in the metrics.go inventory"
+		Labeled("dasc_batches_total"),           // want "spelled as a literal"
+		Labeled(dynamicName()),                  // want "metric name must be a metrics.go constant"
+		Labeled(MBatches, "algo"),               // want "kv arguments must pair up"
+		Labeled(MBatches, dynamicKey(), "v"),    // want "label key must be a compile-time constant"
+	}
+	kv := []string{"a", "b"}
+	out = append(out, Labeled(MBatches, kv...)) // want "spread kv arguments"
+	return out
+}

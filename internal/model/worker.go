@@ -44,9 +44,11 @@ func (w *Worker) TravelTime(from, to geo.Point, dist geo.DistanceFunc) float64 {
 }
 
 // CanReach reports whether the location is within the worker's maximum
-// moving distance from its current location.
+// moving distance from its current location. The comparison carries the
+// same DistEps tolerance as FeasibleFrom, so the two predicates agree on
+// boundary distances.
 func (w *Worker) CanReach(to geo.Point, dist geo.DistanceFunc) bool {
-	return dist(w.Loc, to) <= w.MaxDist
+	return dist(w.Loc, to) <= w.MaxDist+DistEps
 }
 
 // String implements fmt.Stringer.

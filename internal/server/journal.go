@@ -204,6 +204,8 @@ func (j *Journal) SetLogger(log *slog.Logger) {
 }
 
 // failLocked records the journal's first (sticky) failure and logs it.
+//
+// requires: j.mu
 func (j *Journal) failLocked(op string, err error) error {
 	j.err = err
 	if j.log != nil {
@@ -243,6 +245,8 @@ func (j *Journal) appendN(e journalEntry, events int) error {
 }
 
 // maybeSyncLocked applies the fsync policy after a flushed append.
+//
+// requires: j.mu
 func (j *Journal) maybeSyncLocked() error {
 	if j.f == nil {
 		return nil
@@ -258,6 +262,7 @@ func (j *Journal) maybeSyncLocked() error {
 	return nil
 }
 
+// requires: j.mu
 func (j *Journal) syncLocked() error {
 	if j.f == nil {
 		return nil

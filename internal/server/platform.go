@@ -335,6 +335,8 @@ func validateTask(t *model.Task) error {
 // must reference already-registered tasks, which keeps the dependency graph
 // acyclic by construction (as in the paper's generators, creation order is
 // appearance order).
+//
+// requires: p.mu
 func (p *Platform) closeDepsLocked(t *model.Task, staged []model.Task) ([]model.TaskID, error) {
 	n := len(p.tasks) + len(staged)
 	lookup := func(id model.TaskID) *model.Task {
@@ -586,6 +588,8 @@ func (p *Platform) TickTagged(now float64, requestID string) (*BatchOutcome, err
 // outcome, publishes both to the trace ring and the metric registry, and
 // swaps in a fresh read view (ticks move the clock and may change the
 // assignment bookkeeping).
+//
+// requires: p.mu
 func (p *Platform) recordTick(out *BatchOutcome, rec *obs.BatchRec) {
 	tr := rec.Finish()
 	out.WorkersRevalidated = tr.WorkersRevalidated
@@ -628,6 +632,7 @@ func (p *Platform) Snapshot() Stats {
 	return p.statsLocked()
 }
 
+// requires: p.mu
 func (p *Platform) statsLocked() Stats {
 	return Stats{
 		Now:           p.now,
@@ -666,6 +671,7 @@ func (p *Platform) Instance() *model.Instance {
 	return p.instanceLocked()
 }
 
+// requires: p.mu
 func (p *Platform) instanceLocked() *model.Instance {
 	in := &model.Instance{
 		Workers: append([]model.Worker(nil), p.workers...),

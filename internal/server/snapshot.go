@@ -57,6 +57,7 @@ func (p *Platform) WriteSnapshot(w io.Writer) error {
 	return p.writeSnapshotLocked(w)
 }
 
+// requires: p.mu
 func (p *Platform) writeSnapshotLocked(w io.Writer) error {
 	var inst bytes.Buffer
 	if err := dataset.WriteCompact(&inst, p.instanceLocked()); err != nil {
@@ -180,6 +181,7 @@ func (p *Platform) SaveSnapshot(path string) (SnapshotInfo, error) {
 	return p.saveSnapshotLocked(path)
 }
 
+// requires: p.mu
 func (p *Platform) saveSnapshotLocked(path string) (info SnapshotInfo, err error) {
 	start := time.Now()
 	defer func() {
@@ -251,6 +253,8 @@ func syncDir(dir string) {
 // it mid-replay would pull the tail out from under the reader); failures
 // are counted (dasc_snapshot_failures_total) but never fail the tick that
 // triggered them — the tick itself is already journaled.
+//
+// requires: p.mu
 func (p *Platform) maybeSnapshotLocked() {
 	if p.snapPath == "" || p.snapEvery <= 0 || p.replaying {
 		return

@@ -26,6 +26,8 @@ type readView struct {
 // publishes are O(1): the assignment view is rebuilt only when assignVer
 // moved (ticks, snapshot restores), otherwise the previous one — immutable
 // once published — is reused.
+//
+// requires: p.mu
 func (p *Platform) publishViewLocked() {
 	prev := p.view.Load()
 	var a *model.Assignment

@@ -343,6 +343,7 @@ func (p *Platform) Run() (*Result, error) {
 			}
 		}
 		res.Batches++
+		//lint:epsfloat-ok loop bound on the synthesized batch grid; both sides are recomputed identically every run, and a tolerance would change the batch count
 		if now >= horizon {
 			break
 		}

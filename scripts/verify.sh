@@ -1,5 +1,7 @@
 #!/bin/sh
-# Repo verification: formatting gate, build, vet, full test suite, then a
+# Repo verification: formatting gate, build, vet, the dasc-lint invariant
+# multichecker (plus pinned staticcheck/govulncheck when their module cache
+# or network is available), full test suite, then a
 # race-detector pass over the packages with real concurrency (the parallel
 # BatchIndex build in core, the obs atomics it feeds, the simulator that
 # drives it, the HTTP server, and the bench harness that sweeps them). vet
@@ -20,6 +22,30 @@ go build ./...
 
 echo "== go vet"
 go vet ./...
+
+# The invariant multichecker gates BEFORE the test phase: a determinism,
+# epsilon, ownership, metric-inventory or lock-discipline violation fails
+# fast, with per-analyzer timing on stderr. Suppressions require a reasoned
+# //lint: annotation (see DESIGN.md §3.12); dasc-lint exits 1 on findings.
+echo "== dasc-lint (invariant multichecker)"
+go run ./cmd/dasc-lint ./...
+
+# Pinned external linters, skippable offline: staticcheck and govulncheck
+# run via `go run <module>@<version>` with the versions pinned in
+# scripts/tools.env so every machine runs the same bits. `go run` needs the
+# module cache or network; set DASC_SKIP_NETTOOLS=1 (or be offline — the
+# probe below auto-detects a cold cache) to skip without failing verify.
+. scripts/tools.env
+if [ "${DASC_SKIP_NETTOOLS:-0}" = "1" ]; then
+	echo "== staticcheck/govulncheck: skipped (DASC_SKIP_NETTOOLS=1)"
+elif ! GOFLAGS=-mod=mod go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" -version >/dev/null 2>&1; then
+	echo "== staticcheck/govulncheck: skipped (tool modules not in cache and no network)"
+else
+	echo "== staticcheck ${STATICCHECK_VERSION}"
+	go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" ./...
+	echo "== govulncheck ${GOVULNCHECK_VERSION}"
+	go run "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" ./...
+fi
 
 echo "== go test"
 go test ./...
@@ -70,11 +96,6 @@ echo "bench smoke: OK"
 echo "== lifecycle smoke (kill-and-restart differential)"
 sh scripts/lifecycle_smoke.sh >/dev/null
 echo "lifecycle smoke: OK"
-
-# The metrics inventory lint, called out by name so a stale metrics.go const
-# or a stray dasc_* literal fails loudly here, not buried in the suite above.
-echo "== metrics inventory lint"
-go test ./internal/obs/ -run 'TestMetricsInventoryConstsAreUsed|TestNoStrayMetricNameLiterals' -count 1 >/dev/null
 
 # Loadgen smoke: dasc-loadgen drives a real server twice (fsync=never, then
 # fsync=always), requiring every request acknowledged and the journal replay
